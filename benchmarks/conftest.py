@@ -1,0 +1,50 @@
+"""Shared fixtures for the benchmark suite.
+
+Each fixture is session-scoped: binding-time analysis and extension
+construction happen once, mirroring the paper's methodology where the
+program generator is built ahead of the timed generation runs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rtcg import make_generating_extension
+from repro.workloads import (
+    LAZY_SIGNATURE,
+    lazy_interpreter,
+    lazy_primes_program,
+    mixwell_interpreter,
+    mixwell_tm_program,
+    MIXWELL_SIGNATURE,
+)
+
+
+@pytest.fixture(scope="session")
+def mixwell_gen():
+    return make_generating_extension(mixwell_interpreter(), MIXWELL_SIGNATURE)
+
+
+@pytest.fixture(scope="session")
+def lazy_gen():
+    return make_generating_extension(lazy_interpreter(), LAZY_SIGNATURE)
+
+
+@pytest.fixture(scope="session")
+def mixwell_ext(mixwell_gen):
+    return mixwell_gen.compiled()
+
+
+@pytest.fixture(scope="session")
+def lazy_ext(lazy_gen):
+    return lazy_gen.compiled()
+
+
+@pytest.fixture(scope="session")
+def mixwell_static():
+    return mixwell_tm_program()
+
+
+@pytest.fixture(scope="session")
+def lazy_static():
+    return lazy_primes_program()

@@ -1,0 +1,199 @@
+"""Regenerate the paper's evaluation tables (Figs. 6-8) in one run.
+
+Usage::
+
+    python benchmarks/paper_tables.py [--rounds N]
+
+Prints Markdown tables in the shape of the paper's figures, with the
+paper's original numbers alongside for comparison.  EXPERIMENTS.md is
+produced from this script's output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.compiler import ObjectCodeBackend, StockCompiler, compile_program
+from repro.lang import parse_program, unparse_program
+from repro.pe import SourceBackend, analyze
+from repro.pe.cogen import compile_generating_extension
+from repro.rtcg import make_generating_extension
+from repro.runtime.values import datum_to_value
+from repro.sexp import write
+from repro.workloads import (
+    LAZY_SIGNATURE,
+    MIXWELL_SIGNATURE,
+    lazy_interpreter,
+    lazy_primes_program,
+    mixwell_interpreter,
+    mixwell_tm_program,
+)
+
+ROUNDS = 7
+
+
+def best_of(fn, rounds=None):
+    times = []
+    for _ in range(rounds or ROUNDS):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return min(times)
+
+
+def ms(seconds: float) -> str:
+    return f"{seconds * 1000:8.2f}"
+
+
+def workloads():
+    return [
+        ("MIXWELL", mixwell_interpreter(), MIXWELL_SIGNATURE, mixwell_tm_program()),
+        ("LAZY", lazy_interpreter(), LAZY_SIGNATURE, lazy_primes_program()),
+    ]
+
+
+def fig6() -> None:
+    print("## Figure 6 — Generation speed (ms, best of N)")
+    print()
+    print("| workload | source code | object code | ratio | paper src (s) | paper obj (s) | paper ratio |")
+    print("|---|---|---|---|---|---|---|")
+    paper = {"MIXWELL": (3.072, 3.770), "LAZY": (1.832, 3.451)}
+    for name, interp, sig, static in workloads():
+        ext = make_generating_extension(interp, sig).compiled()
+        t_src = best_of(lambda: ext.generate([static], backend=SourceBackend()))
+        t_obj = best_of(
+            lambda: ext.generate([static], backend=ObjectCodeBackend())
+        )
+        p_src, p_obj = paper[name]
+        print(
+            f"| {name} | {ms(t_src)} | {ms(t_obj)} |"
+            f" {t_obj / t_src:.2f}x | {p_src} | {p_obj} |"
+            f" {p_obj / p_src:.2f}x |"
+        )
+    print()
+
+
+def fig7() -> None:
+    print("## Figure 7 — Compilation times for the specialization output (ms)")
+    print()
+    print(
+        "| workload | load residual source (print+read+compile) |"
+        " src gen + load | direct object gen | direct/two-pass |"
+    )
+    print("|---|---|---|---|---|")
+    for name, interp, sig, static in workloads():
+        ext = make_generating_extension(interp, sig).compiled()
+        rp = ext.generate([static], backend=SourceBackend())
+
+        def load_route():
+            text = "\n".join(write(d) for d in unparse_program(rp.program))
+            program = parse_program(text, goal=rp.goal.name)
+            compile_program(program, compiler="anf")
+
+        t_src = best_of(lambda: ext.generate([static], backend=SourceBackend()))
+        t_load = best_of(load_route)
+        t_obj = best_of(
+            lambda: ext.generate([static], backend=ObjectCodeBackend())
+        )
+        print(
+            f"| {name} | {ms(t_load)} | {ms(t_src + t_load)} |"
+            f" {ms(t_obj)} | {t_obj / (t_src + t_load):.2f} |"
+        )
+    print()
+
+
+def fig8() -> None:
+    print("## Figure 8 — Using RTCG for normal compilation (ms)")
+    print()
+    print("| workload | BTA | Load | Generate | Compile |")
+    print("|---|---|---|---|---|")
+    for name, interp, sig, static in workloads():
+        t_bta = best_of(lambda: analyze(interp, "DD"), rounds=5)
+        bta = analyze(interp, "DD")
+        t_load = best_of(
+            lambda: compile_generating_extension(bta.annotated), rounds=5
+        )
+        ext = compile_generating_extension(bta.annotated)
+        t_gen = best_of(
+            lambda: ext.generate([], backend=ObjectCodeBackend()), rounds=5
+        )
+        stock = StockCompiler(globals_=frozenset(d.name for d in interp.defs))
+        t_compile = best_of(
+            lambda: [
+                stock.compile_procedure(d.params, d.body, name=d.name.name)
+                for d in interp.defs
+            ],
+            rounds=5,
+        )
+        print(
+            f"| {name} | {ms(t_bta)} | {ms(t_load)} |"
+            f" {ms(t_gen)} | {ms(t_compile)} |"
+        )
+    print()
+    print("paper (s): MIXWELL 2.730 / 4.026 / 0.652 / 0.964;"
+          " LAZY 2.253 / 3.217 / 0.568 / 0.604")
+    print()
+
+
+def ablations() -> None:
+    print("## Ablations")
+    print()
+    # A2: specialization speedup.
+    print("### A2 — specialization speedup (interpreter vs residual, on the VM)")
+    print()
+    print("| workload | interpreted (ms) | specialized (ms) | speedup |")
+    print("|---|---|---|---|")
+    cases = {
+        "MIXWELL": (
+            mixwell_interpreter(),
+            MIXWELL_SIGNATURE,
+            mixwell_tm_program(),
+            [datum_to_value([1, 0, 1, 1, 0, 1])],
+        ),
+        "LAZY": (lazy_interpreter(), LAZY_SIGNATURE, lazy_primes_program(), [4]),
+    }
+    for name, (interp, sig, static, dyn_args) in cases.items():
+        compiled_interp = compile_program(interp, compiler="auto")
+        machine = compiled_interp.machine()
+        ext = make_generating_extension(interp, sig).compiled()
+        specialized = ext.generate([static], backend=ObjectCodeBackend())
+        t_i = best_of(
+            lambda: compiled_interp.run([static, *dyn_args], machine)
+        )
+        t_s = best_of(lambda: specialized.run(list(dyn_args)))
+        print(f"| {name} | {ms(t_i)} | {ms(t_s)} | {t_i / t_s:.1f}x |")
+    print()
+
+    # A3: cogen vs interpreted annotations.
+    from repro.pe import Specializer
+
+    print("### A3 — compiled generating extension vs interpreting annotations (ms)")
+    print()
+    print("| workload | specializer | compiled extension | speedup |")
+    print("|---|---|---|---|")
+    for name, interp, sig, static in workloads():
+        gen = make_generating_extension(interp, sig)
+        ext = gen.compiled()
+        t_interp = best_of(
+            lambda: Specializer(gen.bta.annotated, SourceBackend()).run([static])
+        )
+        t_cogen = best_of(lambda: ext.generate([static]))
+        print(f"| {name} | {ms(t_interp)} | {ms(t_cogen)} | {t_interp / t_cogen:.2f}x |")
+    print()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("--rounds", type=int, default=7)
+    args = parser.parse_args()
+    global ROUNDS
+    ROUNDS = args.rounds
+    fig6()
+    fig7()
+    fig8()
+    ablations()
+
+
+if __name__ == "__main__":
+    main()

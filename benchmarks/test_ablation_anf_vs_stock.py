@@ -1,0 +1,83 @@
+"""Ablation A1: the cut-down ANF compiler vs the stock compiler (§6.1).
+
+"Removing the compile-time continuation simplifies the compiler, and also
+speeds up later code generation, as it could not be removed by fusion."
+
+Both compilers compile the same residual (ANF) programs; the ANF compiler
+should be at least as fast and produce code that is no larger — ANF's
+explicit control flow means no join points and no redundant jumps.
+"""
+
+import pytest
+
+from repro.compiler import ANFCompiler, StockCompiler
+from repro.pe import SourceBackend
+
+
+@pytest.fixture(scope="module")
+def residual_programs(mixwell_ext, mixwell_static, lazy_ext, lazy_static):
+    return {
+        "mixwell": mixwell_ext.generate(
+            [mixwell_static], backend=SourceBackend()
+        ).program,
+        "lazy": lazy_ext.generate(
+            [lazy_static], backend=SourceBackend()
+        ).program,
+    }
+
+
+def _compile_with(compiler, program):
+    return {
+        d.name: compiler.compile_procedure(d.params, d.body, name=d.name.name)
+        for d in program.defs
+    }
+
+
+class TestA1CompilationSpeed:
+    @pytest.mark.parametrize("workload", ["mixwell", "lazy"])
+    def test_anf_compiler(self, benchmark, residual_programs, workload):
+        compiler = ANFCompiler(check=False)
+        templates = benchmark(
+            _compile_with, compiler, residual_programs[workload]
+        )
+        assert templates
+
+    @pytest.mark.parametrize("workload", ["mixwell", "lazy"])
+    def test_stock_compiler(self, benchmark, residual_programs, workload):
+        compiler = StockCompiler()
+        templates = benchmark(
+            _compile_with, compiler, residual_programs[workload]
+        )
+        assert templates
+
+
+class TestA1CodeQuality:
+    @pytest.mark.parametrize("workload", ["mixwell", "lazy"])
+    def test_anf_compiler_emits_no_more_code(self, residual_programs, workload):
+        program = residual_programs[workload]
+        anf = _compile_with(ANFCompiler(check=False), program)
+        stock = _compile_with(StockCompiler(), program)
+        anf_count = sum(t.instruction_count() for t in anf.values())
+        stock_count = sum(t.instruction_count() for t in stock.values())
+        assert anf_count <= stock_count
+
+    @pytest.mark.parametrize("workload", ["mixwell", "lazy"])
+    def test_same_behaviour(self, residual_programs, workload):
+        from repro.runtime.values import datum_to_value, scheme_equal
+        from repro.vm import Machine, VmClosure
+
+        program = residual_programs[workload]
+        args = {
+            "mixwell": [datum_to_value([1, 1, 0])],
+            "lazy": [4],
+        }[workload]
+        results = []
+        for templates in (
+            _compile_with(ANFCompiler(check=False), program),
+            _compile_with(StockCompiler(), program),
+        ):
+            m = Machine()
+            for name, template in templates.items():
+                m.define(name, VmClosure(template, ()))
+            results.append(m.call_named(program.goal, args))
+        assert scheme_equal(results[0], results[1])

@@ -1,0 +1,79 @@
+"""Ablation A3: compiled generating extensions vs interpreting annotations.
+
+The PGG path [59] compiles the annotated program into a generating
+extension once; the plain specializer re-traverses the annotated syntax on
+every specialization.  The compiled extension should generate residual
+code faster — this is the staging benefit that §9 wants to push further
+("generate the generating extensions as object code themselves").
+"""
+
+import pytest
+
+from repro.pe import SourceBackend, Specializer
+
+
+class TestA3GenerationSpeed:
+    @pytest.mark.parametrize("workload", ["mixwell", "lazy"])
+    def test_interpreted_annotations(
+        self, benchmark, workload, mixwell_gen, mixwell_static, lazy_gen,
+        lazy_static,
+    ):
+        gen, static = {
+            "mixwell": (mixwell_gen, mixwell_static),
+            "lazy": (lazy_gen, lazy_static),
+        }[workload]
+
+        def run():
+            return Specializer(gen.bta.annotated, SourceBackend()).run(
+                [static]
+            )
+
+        rp = benchmark(run)
+        assert rp.program is not None
+
+    @pytest.mark.parametrize("workload", ["mixwell", "lazy"])
+    def test_compiled_extension(
+        self, benchmark, workload, mixwell_ext, mixwell_static, lazy_ext,
+        lazy_static,
+    ):
+        ext, static = {
+            "mixwell": (mixwell_ext, mixwell_static),
+            "lazy": (lazy_ext, lazy_static),
+        }[workload]
+
+        rp = benchmark(lambda: ext.generate([static]))
+        assert rp.program is not None
+
+
+class TestA3Shape:
+    @pytest.mark.parametrize("workload", ["mixwell", "lazy"])
+    def test_compiled_extension_not_slower(
+        self, workload, mixwell_gen, mixwell_ext, mixwell_static, lazy_gen,
+        lazy_ext, lazy_static,
+    ):
+        import time
+
+        gen, ext, static = {
+            "mixwell": (mixwell_gen, mixwell_ext, mixwell_static),
+            "lazy": (lazy_gen, lazy_ext, lazy_static),
+        }[workload]
+
+        def best_of(fn, n=5):
+            times = []
+            for _ in range(n):
+                t0 = time.perf_counter()
+                fn()
+                times.append(time.perf_counter() - t0)
+            return min(times)
+
+        t_interp = best_of(
+            lambda: Specializer(gen.bta.annotated, SourceBackend()).run(
+                [static]
+            )
+        )
+        t_cogen = best_of(lambda: ext.generate([static]))
+        # Allow 10% noise; the point is the compiled path is not slower.
+        assert t_cogen < 1.1 * t_interp, (
+            f"{workload}: cogen {t_cogen:.4f}s vs specializer"
+            f" {t_interp:.4f}s"
+        )

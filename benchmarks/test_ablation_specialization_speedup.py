@@ -1,0 +1,96 @@
+"""Ablation A2: specialization removes interpretation overhead.
+
+The implicit claim behind the whole enterprise (§3: "Often, the residual
+program is faster than the source program"): running the *specialized*
+program on the VM must beat running the *interpreter* on the VM applied to
+(program, input).  This is the first Futamura projection's payoff.
+"""
+
+import pytest
+
+from repro.compiler import ObjectCodeBackend, compile_program
+from repro.runtime.values import datum_to_value
+from repro.workloads import (
+    lazy_interpreter,
+    mixwell_interpreter,
+)
+
+MIXWELL_TAPE = [1, 0, 1, 1, 0, 1]
+LAZY_INDEX = 4
+
+
+@pytest.fixture(scope="module")
+def mixwell_setup(mixwell_ext, mixwell_static):
+    interp_compiled = compile_program(mixwell_interpreter(), compiler="auto")
+    machine = interp_compiled.machine()
+    specialized = mixwell_ext.generate(
+        [mixwell_static], backend=ObjectCodeBackend()
+    )
+    return interp_compiled, machine, specialized, mixwell_static
+
+
+@pytest.fixture(scope="module")
+def lazy_setup(lazy_ext, lazy_static):
+    interp_compiled = compile_program(lazy_interpreter(), compiler="auto")
+    machine = interp_compiled.machine()
+    specialized = lazy_ext.generate([lazy_static], backend=ObjectCodeBackend())
+    return interp_compiled, machine, specialized, lazy_static
+
+
+class TestA2MIXWELL:
+    def test_mixwell_interpreted_on_vm(self, benchmark, mixwell_setup):
+        interp, machine, _, static = mixwell_setup
+        tape = datum_to_value(MIXWELL_TAPE)
+        benchmark(interp.run, [static, tape], machine)
+
+    def test_mixwell_specialized_on_vm(self, benchmark, mixwell_setup):
+        _, _, specialized, _ = mixwell_setup
+        tape = datum_to_value(MIXWELL_TAPE)
+        benchmark(specialized.run, [tape])
+
+    def test_speedup_holds(self, mixwell_setup):
+        import time
+
+        interp, machine, specialized, static = mixwell_setup
+        tape = datum_to_value(MIXWELL_TAPE)
+
+        def best_of(fn, n=7):
+            return min(
+                _timed(fn) for _ in range(n)
+            )
+
+        def _timed(fn):
+            t0 = time.perf_counter()
+            fn()
+            return time.perf_counter() - t0
+
+        t_interp = best_of(lambda: interp.run([static, tape], machine))
+        t_spec = best_of(lambda: specialized.run([tape]))
+        assert t_spec < t_interp, (
+            f"specialized {t_spec:.5f}s should beat interpreted"
+            f" {t_interp:.5f}s"
+        )
+
+
+class TestA2LAZY:
+    def test_lazy_interpreted_on_vm(self, benchmark, lazy_setup):
+        interp, machine, _, static = lazy_setup
+        benchmark(interp.run, [static, LAZY_INDEX], machine)
+
+    def test_lazy_specialized_on_vm(self, benchmark, lazy_setup):
+        _, _, specialized, _ = lazy_setup
+        benchmark(specialized.run, [LAZY_INDEX])
+
+    def test_speedup_holds(self, lazy_setup):
+        import time
+
+        interp, machine, specialized, static = lazy_setup
+
+        def timed(fn):
+            t0 = time.perf_counter()
+            fn()
+            return time.perf_counter() - t0
+
+        t_interp = min(timed(lambda: interp.run([static, LAZY_INDEX], machine)) for _ in range(3))
+        t_spec = min(timed(lambda: specialized.run([LAZY_INDEX])) for _ in range(3))
+        assert t_spec < t_interp

@@ -1,0 +1,52 @@
+"""Ablation A4: characterizing the VM substrate.
+
+The paper's numbers are all relative to the Scheme 48 byte-code VM.  This
+bench pins down our substrate's basic costs so the other figures can be
+read in context: the bytecode VM vs the tree-walking reference
+interpreter on the same programs, and raw dispatch cost.
+"""
+
+import pytest
+
+from repro.compiler import compile_program
+from repro.interp import Interpreter, run_program
+from repro.lang import parse_program
+
+FIB = "(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))"
+LOOP = "(define (loop n acc) (if (zero? n) acc (loop (- n 1) (+ acc n))))"
+LISTS = """
+(define (build n) (if (zero? n) '() (cons n (build (- n 1)))))
+(define (total xs acc) (if (null? xs) acc (total (cdr xs) (+ acc (car xs)))))
+(define (main n) (total (build n) 0))
+"""
+
+CASES = {
+    "fib": (FIB, [15]),
+    "tail-loop": (LOOP, [5000, 0]),
+    "lists": (LISTS, [150]),
+}
+
+
+@pytest.mark.parametrize("case", list(CASES))
+class TestA4InterpreterVsVM:
+    def test_reference_interpreter(self, benchmark, case):
+        src, args = CASES[case]
+        program = parse_program(src)
+        interp = Interpreter(program)
+        benchmark(interp.call, program.goal, args)
+
+    def test_bytecode_vm(self, benchmark, case):
+        src, args = CASES[case]
+        program = parse_program(src)
+        compiled = compile_program(program, compiler="auto")
+        machine = compiled.machine()
+        benchmark(compiled.run, args, machine)
+
+
+class TestA4Consistency:
+    @pytest.mark.parametrize("case", list(CASES))
+    def test_same_results(self, case):
+        src, args = CASES[case]
+        program = parse_program(src)
+        compiled = compile_program(program, compiler="auto")
+        assert compiled.run(args) == run_program(program, args)

@@ -1,0 +1,134 @@
+"""Run-time code generation for a classic RTCG workload: pattern matching.
+
+"Our system allows the creation and execution of customized code at run
+time, thereby performing some classic jobs of RTCG systems." (§1)
+
+A generic matcher interprets a pattern against a subject on every call.
+When one pattern is matched against many subjects, specializing the
+matcher to the pattern *at run time* — directly to object code, no
+compiler invocation — pays off.  Patterns support literals, ``?``
+(wildcard) and named variables ``(? x)`` whose repeated occurrences must
+match equal subjects.
+
+The matcher is written worklist-style so that every dynamic conditional is
+in tail position: the Fig. 3 specializer duplicates the continuation of a
+dynamic ``if`` into both branches, so value-position conditionals in a
+deeply unfolded program can blow up the residual code — a real
+binding-time-improvement concern the PE literature discusses at length.
+
+Run:  python examples/rtcg_matcher.py
+"""
+
+import time
+
+from repro.runtime.values import datum_to_value
+from repro.rtcg import make_generating_extension
+from repro.sexp import read
+
+MATCHER = """
+;; (match pattern subject): #t iff pattern matches subject.
+;;   ?        matches anything
+;;   (? x)    matches anything; repeated (? x) must match equal subjects
+;;   ()       matches the empty list
+;;   literal  matches itself
+;;
+;; Worklist formulation: `pats` is a (static) stack of pattern parts,
+;; `subjects` the matching (dynamic) stack of subject parts, `env` the
+;; bindings so far or the symbol fail.
+
+(define (match pattern subject)
+  (not (equal? (match-work (cons pattern '()) (cons subject '()) '())
+               'fail)))
+
+(define (match-work pats subjects env)
+  (if (null? pats)
+      env
+      (match-one (car pats) (car subjects)
+                 (cdr pats) (cdr subjects) env)))
+
+(define (match-one pat subject pats subjects env)
+  (cond ((eq? pat '?)
+         (match-work pats subjects env))
+        ((null? pat)
+         (if (null? subject)
+             (match-work pats subjects env)
+             'fail))
+        ((not (pair? pat))
+         (if (equal? pat subject)
+             (match-work pats subjects env)
+             'fail))
+        ((eq? (car pat) '?)
+         (match-binding (cadr pat) subject pats subjects env))
+        (else
+         ;; Split the pair: push car and cdr of both pattern and subject.
+         (if (pair? subject)
+             (match-work (cons (car pat) (cons (cdr pat) pats))
+                         (cons (car subject) (cons (cdr subject) subjects))
+                         env)
+             'fail))))
+
+(define (match-binding name subject pats subjects env)
+  (let ((seen (assq name env)))
+    (if seen
+        (if (equal? (cadr seen) subject)
+            (match-work pats subjects env)
+            'fail)
+        (match-work pats subjects (cons (list name subject) env)))))
+"""
+
+
+def main() -> None:
+    # The pattern is static, the subject dynamic.
+    gen = make_generating_extension(MATCHER, "SD", goal="match")
+
+    pattern = datum_to_value(
+        read("(config (host (? h)) (port (? p)) (host (? h)))")
+    )
+
+    t0 = time.perf_counter()
+    matcher = gen.to_object_code([pattern])
+    print(f"generated a matcher at run time in {time.perf_counter() - t0:.4f}s")
+
+    subjects = {
+        "(config (host a) (port 80) (host a))": True,
+        "(config (host a) (port 80) (host b))": False,  # h mismatch
+        "(config (host a) (port 80))": False,
+        "(config (host a) (port 80) (host a) extra)": False,
+    }
+    for text, expected in subjects.items():
+        subject = datum_to_value(read(text))
+        result = matcher.run([subject])
+        status = "ok" if result is expected else "WRONG"
+        print(f"  [{status}] match {text} -> {result}")
+
+    # Throughput: the generic matcher (compiled, but interpreting the
+    # pattern on every call) vs the specialized code — both on the VM.
+    from repro.compiler import compile_program
+    from repro.lang import parse_program
+
+    generic_matcher = compile_program(
+        parse_program(MATCHER, goal="match"), compiler="auto"
+    )
+    machine = generic_matcher.machine()
+    subject = datum_to_value(read("(config (host a) (port 80) (host a))"))
+
+    n = 2000
+    t0 = time.perf_counter()
+    for _ in range(n):
+        generic_matcher.run([pattern, subject], machine=machine)
+    generic = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    for _ in range(n):
+        matcher.run([subject])
+    specialized = time.perf_counter() - t0
+
+    print(
+        f"\n{n} matches: generic {generic:.3f}s,"
+        f" run-time-generated {specialized:.3f}s"
+        f" -> {generic / specialized:.1f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

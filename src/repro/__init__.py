@@ -1,0 +1,18 @@
+"""repro: composing partial evaluation and compilation.
+
+A reproduction of Sperber & Thiemann, "Two for the Price of One: Composing
+Partial Evaluation and Compilation" (PLDI 1997): an offline partial
+evaluator for a Scheme subset, a bytecode compiler and VM, and their
+automatic composition into a run-time code generation system.
+
+Public API highlights
+---------------------
+- :func:`repro.lang.parse_program` / :func:`repro.lang.parse_expr` — front end
+- :func:`repro.interp.run_program` — reference interpreter
+- :mod:`repro.pe` — binding-time analysis and the specializer
+- :mod:`repro.vm` — the bytecode virtual machine
+- :mod:`repro.compiler` — the ANF compiler and its combinator form
+- :mod:`repro.rtcg` — the composed system (the paper's headline artifact)
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,204 @@
+"""Command-line driver: ``python -m repro <command> ...``.
+
+Commands
+--------
+run FILE [ARGS...]
+    Parse FILE (Scheme subset), run its goal function on ARGS through the
+    bytecode VM.  Arguments are read as Scheme data.
+
+interp FILE [ARGS...]
+    Same, through the reference interpreter.
+
+specialize FILE --sig SIG [--static DATUM ...] [--goal NAME]
+    Binding-time-analyze FILE against SIG (e.g. ``SD``), specialize to the
+    given static arguments, print the residual program.
+
+rtcg FILE --sig SIG [--static DATUM ...] [--dynamic DATUM ...]
+    Specialize directly to object code and run it on the dynamic
+    arguments; print the result.  Add ``--disassemble`` to dump templates.
+
+annotate FILE --sig SIG [--goal NAME]
+    Print the binding-time-annotated program (ACS notation: ``lift``,
+    ``if^D``, ``lambda^D``, ``memo-call``).
+
+combinators
+    Print the generated code-generation combinator module (Act 3's file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.compiler import ObjectCodeBackend, compile_program
+from repro.interp import run_program
+from repro.lang import parse_program, unparse_def, unparse_program
+from repro.lang.prelude import with_prelude
+from repro.pe import SourceBackend, Specializer, analyze
+from repro.lang.prims import write_value
+from repro.runtime.values import datum_to_value
+from repro.sexp import read, write
+from repro.vm import disassemble
+
+
+def _load(path: str, goal: str | None, prelude: bool):
+    text = Path(path).read_text()
+    if prelude:
+        return with_prelude(text, goal=goal)
+    return parse_program(text, goal=goal)
+
+
+def _data(items: list[str]) -> list:
+    return [datum_to_value(read(item)) for item in items]
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    program = _load(args.file, args.goal, args.prelude)
+    compiled = compile_program(program, compiler="auto")
+    print(write_value(compiled.run(_data(args.args))))
+    return 0
+
+
+def cmd_interp(args: argparse.Namespace) -> int:
+    program = _load(args.file, args.goal, args.prelude)
+    print(write_value(run_program(program, _data(args.args))))
+    return 0
+
+
+def cmd_specialize(args: argparse.Namespace) -> int:
+    program = _load(args.file, args.goal, args.prelude)
+    result = analyze(
+        program,
+        args.sig,
+        memo_hints=args.memo or (),
+        unfold_hints=args.unfold or (),
+    )
+    spec = Specializer(
+        result.annotated, SourceBackend(), dif_strategy=args.dif_strategy
+    )
+    residual = spec.run(_data(args.static or []))
+    for d in unparse_program(residual.program):
+        print(write(d))
+    print(
+        f";; goal: {residual.goal}  dynamic params:"
+        f" ({' '.join(p.name for p in residual.goal_params)})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_rtcg(args: argparse.Namespace) -> int:
+    program = _load(args.file, args.goal, args.prelude)
+    result = analyze(
+        program,
+        args.sig,
+        memo_hints=args.memo or (),
+        unfold_hints=args.unfold or (),
+    )
+    backend = ObjectCodeBackend()
+    spec = Specializer(
+        result.annotated, backend, dif_strategy=args.dif_strategy
+    )
+    residual = spec.run(_data(args.static or []))
+    if args.disassemble:
+        for name, template in backend.templates.items():
+            print(disassemble(template), file=sys.stderr)
+    if args.dynamic is not None:
+        print(write_value(residual.run(_data(args.dynamic))))
+    return 0
+
+
+def cmd_annotate(args: argparse.Namespace) -> int:
+    program = _load(args.file, args.goal, args.prelude)
+    result = analyze(
+        program,
+        args.sig,
+        memo_hints=args.memo or (),
+        unfold_hints=args.unfold or (),
+    )
+    for d in result.annotated.defs:
+        marker = "memoized" if d.residual else "unfolded"
+        bts = "".join(bt.value for bt in d.bts)
+        print(f";; {d.name}  [{bts}]  ({marker})")
+        from repro.lang.ast import Def
+
+        print(write(unparse_def(Def(d.name, d.params, d.body))))
+    return 0
+
+
+def cmd_combinators(args: argparse.Namespace) -> int:
+    from repro.compiler.combinator_source import emit_combinator_module
+
+    print(emit_combinator_module())
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Composing partial evaluation and compilation"
+        " (Sperber & Thiemann, PLDI 1997).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p: argparse.ArgumentParser, needs_sig: bool) -> None:
+        p.add_argument("file", help="Scheme source file")
+        p.add_argument("--goal", help="goal function name")
+        p.add_argument(
+            "--prelude", action="store_true", help="splice in the prelude"
+        )
+        if needs_sig:
+            p.add_argument(
+                "--sig", required=True,
+                help="binding-time signature, e.g. SD",
+            )
+            p.add_argument(
+                "--static", action="append",
+                help="a static argument (Scheme datum); repeatable",
+            )
+            p.add_argument("--memo", action="append", help="memoization hint")
+            p.add_argument("--unfold", action="append", help="unfold hint")
+            p.add_argument(
+                "--dif-strategy", default="duplicate",
+                choices=("duplicate", "join"), dest="dif_strategy",
+            )
+
+    p = sub.add_parser("run", help="compile and run on the VM")
+    common(p, needs_sig=False)
+    p.add_argument("args", nargs="*", help="goal arguments (Scheme data)")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("interp", help="run through the reference interpreter")
+    common(p, needs_sig=False)
+    p.add_argument("args", nargs="*")
+    p.set_defaults(fn=cmd_interp)
+
+    p = sub.add_parser("specialize", help="print the residual source program")
+    common(p, needs_sig=True)
+    p.set_defaults(fn=cmd_specialize)
+
+    p = sub.add_parser("rtcg", help="generate object code and run it")
+    common(p, needs_sig=True)
+    p.add_argument(
+        "--dynamic", action="append",
+        help="a dynamic argument (Scheme datum); repeatable",
+    )
+    p.add_argument("--disassemble", action="store_true")
+    p.set_defaults(fn=cmd_rtcg)
+
+    p = sub.add_parser("annotate", help="print the annotated program")
+    common(p, needs_sig=True)
+    p.set_defaults(fn=cmd_annotate)
+
+    p = sub.add_parser("combinators", help="print the generated combinators")
+    p.set_defaults(fn=cmd_combinators)
+
+    # Note: with `run`/`interp`, give goal arguments right after FILE
+    # (before any --options), e.g. ``run power.scm 2 10 --goal power``.
+    ns = parser.parse_args(argv)
+    return ns.fn(ns)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

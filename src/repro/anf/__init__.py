@@ -1,0 +1,13 @@
+"""A-normal form: the Fig. 2 grammar, a checker, and a converter."""
+
+from repro.anf.convert import anf_convert, anf_convert_program
+from repro.anf.grammar import check_anf, check_anf_program, is_anf, is_anf_program
+
+__all__ = [
+    "anf_convert",
+    "anf_convert_program",
+    "check_anf",
+    "check_anf_program",
+    "is_anf",
+    "is_anf_program",
+]

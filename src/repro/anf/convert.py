@@ -1,0 +1,193 @@
+"""CS → ANF conversion.
+
+A standalone A-normalizer in the style of Flanagan et al. [20], using the
+same let-insertion discipline as the specializer: whenever a *serious*
+computation (a call or primitive application) occurs in a non-tail
+position, it is bound to a fresh variable by a ``let`` and the variable is
+used in its place; trivial expressions (constants, variables, lambdas) are
+never wrapped.
+
+This module exists for two reasons: the stock compiler path compiles
+arbitrary CS by normalizing first, and the test suite uses it to validate
+that the specializer's output discipline (which produces ANF *by
+construction*) agrees with a direct normalizer.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.lang.ast import (
+    App,
+    Const,
+    Def,
+    Expr,
+    If,
+    Lam,
+    Let,
+    Prim,
+    Program,
+    Var,
+)
+from repro.lang.gensym import Gensym
+
+
+def anf_convert(expr: Expr, gensym: Gensym | None = None) -> Expr:
+    """Convert ``expr`` to A-normal form.
+
+    The expression is alpha-renamed first: normalization hoists let
+    bindings over their context, which is only capture-safe when bound
+    names are unique.
+    """
+    from repro.lang.alpha import alpha_rename_expr
+
+    gs = gensym or Gensym("v")
+    if not _names_unique(expr):
+        expr = alpha_rename_expr(expr, gs)
+    return _norm_tail(expr, gs)
+
+
+def anf_convert_program(program: Program, gensym: Gensym | None = None) -> Program:
+    gs = gensym or Gensym("v")
+    return Program(
+        tuple(
+            Def(d.name, d.params, anf_convert(d.body, gs))
+            for d in program.defs
+        ),
+        program.goal,
+    )
+
+
+def _names_unique(expr: Expr) -> bool:
+    """True if no bound name is reused anywhere in ``expr``."""
+    from repro.lang.ast import walk
+
+    seen: set = set()
+    for node in walk(expr):
+        if isinstance(node, Lam):
+            names: tuple = node.params
+        elif isinstance(node, Let):
+            names = (node.var,)
+        else:
+            continue
+        for name in names:
+            if name in seen:
+                return False
+            seen.add(name)
+    return True
+
+
+def _norm_tail(expr: Expr, gs: Gensym) -> Expr:
+    """Normalize ``expr`` in tail position."""
+    if isinstance(expr, (Const, Var)):
+        return expr
+    if isinstance(expr, Lam):
+        return Lam(expr.params, _norm_tail(expr.body, gs))
+    if isinstance(expr, Let):
+        # (let (x M1) M2): normalize M1 into bindings around the body.
+        return _norm_bind(
+            expr.rhs, gs, lambda rhs: Let(expr.var, rhs, _norm_tail(expr.body, gs))
+        )
+    if isinstance(expr, If):
+        return _norm_trivial(
+            expr.test,
+            gs,
+            lambda t: If(t, _norm_tail(expr.then, gs), _norm_tail(expr.alt, gs)),
+        )
+    if isinstance(expr, App):
+        return _norm_trivial(
+            expr.fn,
+            gs,
+            lambda f: _norm_args(
+                list(expr.args), [], gs, lambda vs: App(f, tuple(vs))
+            ),
+        )
+    if isinstance(expr, Prim):
+        return _norm_args(
+            list(expr.args), [], gs, lambda vs: Prim(expr.op, tuple(vs))
+        )
+    raise TypeError(f"ANF conversion does not handle {type(expr).__name__}")
+
+
+def _norm_bind(
+    expr: Expr, gs: Gensym, k: Callable[[Expr], Expr]
+) -> Expr:
+    """Normalize ``expr`` into a legal let-rhs and pass it to ``k``."""
+    if isinstance(expr, (Const, Var)):
+        return k(expr)
+    if isinstance(expr, Lam):
+        return k(Lam(expr.params, _norm_tail(expr.body, gs)))
+    if isinstance(expr, App):
+        return _norm_trivial(
+            expr.fn,
+            gs,
+            lambda f: _norm_args(
+                list(expr.args), [], gs, lambda vs: k(App(f, tuple(vs)))
+            ),
+        )
+    if isinstance(expr, Prim):
+        return _norm_args(
+            list(expr.args), [], gs, lambda vs: k(Prim(expr.op, tuple(vs)))
+        )
+    if isinstance(expr, Let):
+        return _norm_bind(
+            expr.rhs,
+            gs,
+            lambda rhs: Let(expr.var, rhs, _norm_bind(expr.body, gs, k)),
+        )
+    if isinstance(expr, If):
+        # A conditional in binding position is named via a fresh variable;
+        # both branches flow into the binding through a let around k's use.
+        fresh = gs.fresh("t")
+        return _norm_trivial(
+            expr.test,
+            gs,
+            lambda t: Let(
+                fresh,
+                _wrap_serious(If(t, _norm_tail(expr.then, gs), _norm_tail(expr.alt, gs))),
+                k(Var(fresh)),
+            ),
+        )
+    raise TypeError(f"ANF conversion does not handle {type(expr).__name__}")
+
+
+def _wrap_serious(expr: Expr) -> Expr:
+    """A conditional cannot be a let-rhs in Fig. 2.
+
+    We eta-expand it into a call to an immediately-constructed thunk-like
+    lambda taking no arguments, which *is* a legal rhs:
+    ``(let (t ((lambda () (if ...)))) ...)``.
+    """
+    return App(Lam((), expr), ())
+
+
+def _norm_trivial(
+    expr: Expr, gs: Gensym, k: Callable[[Expr], Expr]
+) -> Expr:
+    """Normalize ``expr`` to a trivial V, let-binding it if serious."""
+    if isinstance(expr, (Const, Var)):
+        return k(expr)
+    if isinstance(expr, Lam):
+        return k(Lam(expr.params, _norm_tail(expr.body, gs)))
+
+    def bind(b: Expr) -> Expr:
+        if isinstance(b, (Const, Var)):
+            return k(b)
+        fresh = gs.fresh("v")
+        return Let(fresh, b, k(Var(fresh)))
+
+    return _norm_bind(expr, gs, bind)
+
+
+def _norm_args(
+    pending: list[Expr],
+    done: list[Expr],
+    gs: Gensym,
+    k: Callable[[list[Expr]], Expr],
+) -> Expr:
+    if not pending:
+        return k(done)
+    first, rest = pending[0], pending[1:]
+    return _norm_trivial(
+        first, gs, lambda v: _norm_args(rest, done + [v], gs, k)
+    )

@@ -1,0 +1,98 @@
+"""The A-normal form grammar of Fig. 2, as a checker.
+
+::
+
+    M ::= V
+        | (let (x V) M)
+        | (let (x (V V1 ... Vn)) M)      non-tail call
+        | (let (x (O V1 ... Vn)) M)      primitive operation
+        | (if V M M)
+        | (V V1 ... Vn)                  tail call
+        | (O V1 ... Vn)                  primitive in tail position
+    V ::= c | x | (lambda (x1 ... xn) M)
+
+ANF makes control flow explicit: "Only those function applications wrapped
+in a let are non-tail calls; all others are jumps" (§6.1).  The specializer
+only ever produces residual programs in this grammar, and the ANF compiler
+only ever consumes it — both directions are checked in the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import App, Const, Expr, If, Lam, Let, Prim, Program, Var
+
+
+class ANFViolation(ValueError):
+    """An expression failed the ANF grammar check."""
+
+    def __init__(self, message: str, offending: Expr):
+        super().__init__(f"{message}: {type(offending).__name__}")
+        self.offending = offending
+
+
+def _check_trivial(expr: Expr) -> None:
+    """V ::= c | x | (lambda ... M)"""
+    if isinstance(expr, (Const, Var)):
+        return
+    if isinstance(expr, Lam):
+        check_anf(expr.body)
+        return
+    raise ANFViolation("expected a trivial expression (V)", expr)
+
+
+def _check_binding(expr: Expr) -> None:
+    """The right-hand side of a let: V, a call of Vs, or a prim of Vs."""
+    if isinstance(expr, App):
+        _check_trivial(expr.fn)
+        for a in expr.args:
+            _check_trivial(a)
+        return
+    if isinstance(expr, Prim):
+        for a in expr.args:
+            _check_trivial(a)
+        return
+    _check_trivial(expr)
+
+
+def check_anf(expr: Expr) -> None:
+    """Raise :class:`ANFViolation` unless ``expr`` is in ANF (an M)."""
+    if isinstance(expr, Let):
+        _check_binding(expr.rhs)
+        check_anf(expr.body)
+        return
+    if isinstance(expr, If):
+        _check_trivial(expr.test)
+        check_anf(expr.then)
+        check_anf(expr.alt)
+        return
+    if isinstance(expr, App):
+        _check_trivial(expr.fn)
+        for a in expr.args:
+            _check_trivial(a)
+        return
+    if isinstance(expr, Prim):
+        for a in expr.args:
+            _check_trivial(a)
+        return
+    _check_trivial(expr)
+
+
+def is_anf(expr: Expr) -> bool:
+    try:
+        check_anf(expr)
+    except ANFViolation:
+        return False
+    return True
+
+
+def check_anf_program(program: Program) -> None:
+    for d in program.defs:
+        check_anf(d.body)
+
+
+def is_anf_program(program: Program) -> bool:
+    try:
+        check_anf_program(program)
+    except ANFViolation:
+        return False
+    return True

@@ -1,0 +1,39 @@
+"""The algebraic framework of §5: syntax functors, catamorphisms, fusion.
+
+The paper's theoretical development regards syntax as the least fixpoint
+of the functor ``MkSyntax`` (Fig. 4), describes compilers and specializers
+as catamorphisms (Fig. 5), and obtains the composition by the fusion (or
+promotion) theorem of §5.4.  This package is an executable rendering:
+
+* :func:`mk_syntax_map` — the action of ``MkSyntax`` on functions;
+* :func:`cata` — the generic recursion schema of Fig. 5;
+* algebras — free variables, size, unparse, the constructor algebra (whose
+  catamorphism is the identity), and a compositional evaluator;
+* :func:`fuse` — the fusion law: a producer parameterized over syntax
+  constructors composed with a consumer algebra, with the law itself
+  checked in the test suite on concrete instances.
+"""
+
+from repro.cata.algebras import (
+    ConstructorAlgebra,
+    CountAlgebra,
+    EvalAlgebra,
+    FreeVarsAlgebra,
+    UnparseAlgebra,
+)
+from repro.cata.cata import SyntaxAlgebra, cata
+from repro.cata.functor import mk_syntax_children, mk_syntax_map
+from repro.cata.fusion_law import fuse
+
+__all__ = [
+    "ConstructorAlgebra",
+    "CountAlgebra",
+    "EvalAlgebra",
+    "FreeVarsAlgebra",
+    "SyntaxAlgebra",
+    "UnparseAlgebra",
+    "cata",
+    "fuse",
+    "mk_syntax_children",
+    "mk_syntax_map",
+]

@@ -1,0 +1,183 @@
+"""Concrete algebras for the Fig. 5 recursion schema."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence, Tuple
+
+from repro.lang.ast import App, Const, Expr, If, Lam, Let, Prim, Var
+from repro.lang.prims import PRIMITIVES
+from repro.runtime.errors import SchemeError
+from repro.runtime.values import datum_to_value, is_truthy
+from repro.sexp.datum import Symbol, sym
+
+
+class ConstructorAlgebra:
+    """The initial algebra: the syntax constructors themselves.
+
+    ``cata(ConstructorAlgebra(), e) == e`` — the identity law, the base
+    case of the fusion argument (replacing these constructors with another
+    algebra's evaluators is exactly what deforestation does).
+    """
+
+    def ev_const(self, c: Any) -> Expr:
+        return Const(c)
+
+    def ev_var(self, name: Symbol) -> Expr:
+        return Var(name)
+
+    def ev_lam(self, params: Tuple[Symbol, ...], body: Expr) -> Expr:
+        return Lam(params, body)
+
+    def ev_let(self, var: Symbol, rhs: Expr, body: Expr) -> Expr:
+        return Let(var, rhs, body)
+
+    def ev_if(self, test: Expr, then: Expr, alt: Expr) -> Expr:
+        return If(test, then, alt)
+
+    def ev_app(self, fn: Expr, args: Sequence[Expr]) -> Expr:
+        return App(fn, tuple(args))
+
+    def ev_prim(self, op: Symbol, args: Sequence[Expr]) -> Expr:
+        return Prim(op, tuple(args))
+
+
+class CountAlgebra:
+    """Node count, compositionally."""
+
+    def ev_const(self, c: Any) -> int:
+        return 1
+
+    def ev_var(self, name: Symbol) -> int:
+        return 1
+
+    def ev_lam(self, params, body: int) -> int:
+        return 1 + body
+
+    def ev_let(self, var, rhs: int, body: int) -> int:
+        return 1 + rhs + body
+
+    def ev_if(self, test: int, then: int, alt: int) -> int:
+        return 1 + test + then + alt
+
+    def ev_app(self, fn: int, args: Sequence[int]) -> int:
+        return 1 + fn + sum(args)
+
+    def ev_prim(self, op, args: Sequence[int]) -> int:
+        return 1 + sum(args)
+
+
+class FreeVarsAlgebra:
+    """Free variables, compositionally."""
+
+    def ev_const(self, c: Any) -> frozenset:
+        return frozenset()
+
+    def ev_var(self, name: Symbol) -> frozenset:
+        return frozenset((name,))
+
+    def ev_lam(self, params, body: frozenset) -> frozenset:
+        return body - set(params)
+
+    def ev_let(self, var, rhs: frozenset, body: frozenset) -> frozenset:
+        return rhs | (body - {var})
+
+    def ev_if(self, test, then, alt) -> frozenset:
+        return test | then | alt
+
+    def ev_app(self, fn: frozenset, args: Sequence[frozenset]) -> frozenset:
+        out = fn
+        for a in args:
+            out = out | a
+        return out
+
+    def ev_prim(self, op, args: Sequence[frozenset]) -> frozenset:
+        out = frozenset()
+        for a in args:
+            out = out | a
+        return out
+
+
+class UnparseAlgebra:
+    """Reader data, compositionally (agrees with :mod:`repro.lang.unparse`
+    on pure CS)."""
+
+    def ev_const(self, c: Any) -> Any:
+        from repro.lang.unparse import _const_datum
+
+        return _const_datum(c)
+
+    def ev_var(self, name: Symbol) -> Any:
+        return name
+
+    def ev_lam(self, params, body: Any) -> Any:
+        return [sym("lambda"), list(params), body]
+
+    def ev_let(self, var, rhs: Any, body: Any) -> Any:
+        return [sym("let"), [var, rhs], body]
+
+    def ev_if(self, test, then, alt) -> Any:
+        return [sym("if"), test, then, alt]
+
+    def ev_app(self, fn, args) -> Any:
+        return [fn, *args]
+
+    def ev_prim(self, op, args) -> Any:
+        return [op, *args]
+
+
+class EvalAlgebra:
+    """A compositional (denotational-implementation) evaluator.
+
+    Each construct denotes a function from environments to values — §5.2's
+    "the meaning of an expression is a function of the meanings of its
+    subexpressions" — so the catamorphism yields a *staged* evaluator: the
+    syntax dispatch happens once, before any environment arrives.  (This
+    is the same staging idea the cogen exploits.)
+    """
+
+    def ev_const(self, c: Any):
+        value = datum_to_value(c)
+        return lambda env: value
+
+    def ev_var(self, name: Symbol):
+        def meaning(env):
+            try:
+                return env[name]
+            except KeyError:
+                raise SchemeError(f"unbound variable: {name}") from None
+
+        return meaning
+
+    def ev_lam(self, params, body):
+        def meaning(env):
+            def procedure(*args):
+                if len(args) != len(params):
+                    raise SchemeError("arity mismatch")
+                inner = dict(env)
+                inner.update(zip(params, args))
+                return body(inner)
+
+            return procedure
+
+        return meaning
+
+    def ev_let(self, var, rhs, body):
+        return lambda env: body({**env, var: rhs(env)})
+
+    def ev_if(self, test, then, alt):
+        return lambda env: then(env) if is_truthy(test(env)) else alt(env)
+
+    def ev_app(self, fn, args):
+        def meaning(env):
+            procedure = fn(env)
+            return procedure(*[a(env) for a in args])
+
+        return meaning
+
+    def ev_prim(self, op, args):
+        spec = PRIMITIVES[op]
+
+        def meaning(env):
+            return spec.apply([a(env) for a in args])
+
+        return meaning

@@ -1,0 +1,63 @@
+"""The generic recursion schema of Fig. 5: the catamorphism for Syntax.
+
+An algebra supplies one evaluation function per syntactic construct
+(ev-const, ev-var, ev-lam, ev-let, ev-if, ev-app, ev-prim — the tuple the
+paper writes as an overlined ``ev``); :func:`cata` ties the recursive
+knot.  "Apart from compositional semantics, catamorphisms are also useful
+for describing compilers and specializers" (§5.2) — the algebras in
+:mod:`repro.cata.algebras` and the fused compiler both fit this schema.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Protocol, Sequence, Tuple
+
+from repro.lang.ast import App, Const, Expr, If, Lam, Let, Prim, Var
+from repro.sexp.datum import Symbol
+
+
+class SyntaxAlgebra(Protocol):
+    """The parameter tuple of the recursion schema (Fig. 5)."""
+
+    def ev_const(self, c: Any) -> Any: ...
+
+    def ev_var(self, name: Symbol) -> Any: ...
+
+    def ev_lam(self, params: Tuple[Symbol, ...], body: Any) -> Any: ...
+
+    def ev_let(self, var: Symbol, rhs: Any, body: Any) -> Any: ...
+
+    def ev_if(self, test: Any, then: Any, alt: Any) -> Any: ...
+
+    def ev_app(self, fn: Any, args: Sequence[Any]) -> Any: ...
+
+    def ev_prim(self, op: Symbol, args: Sequence[Any]) -> Any: ...
+
+
+def cata(algebra: SyntaxAlgebra, expr: Expr) -> Any:
+    """``cata_CS(ev)(M)`` — the generic recursion schema of Fig. 5."""
+    if isinstance(expr, Const):
+        return algebra.ev_const(expr.value)
+    if isinstance(expr, Var):
+        return algebra.ev_var(expr.name)
+    if isinstance(expr, Lam):
+        return algebra.ev_lam(expr.params, cata(algebra, expr.body))
+    if isinstance(expr, Let):
+        return algebra.ev_let(
+            expr.var, cata(algebra, expr.rhs), cata(algebra, expr.body)
+        )
+    if isinstance(expr, If):
+        return algebra.ev_if(
+            cata(algebra, expr.test),
+            cata(algebra, expr.then),
+            cata(algebra, expr.alt),
+        )
+    if isinstance(expr, App):
+        return algebra.ev_app(
+            cata(algebra, expr.fn), [cata(algebra, a) for a in expr.args]
+        )
+    if isinstance(expr, Prim):
+        return algebra.ev_prim(
+            expr.op, [cata(algebra, a) for a in expr.args]
+        )
+    raise TypeError(f"cata: not a Syntax node: {type(expr).__name__}")

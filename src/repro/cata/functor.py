@@ -1,0 +1,62 @@
+"""The syntax functor ``MkSyntax`` of Fig. 4.
+
+``Syntax = MkSyntax(Syntax)`` where::
+
+    MkSyntax(X) = const Constants
+                + var Variables
+                + lam (List(Variables) × X)
+                + let (Variables × X × X)
+                + if (X × X × X)
+                + app (X × List(X))
+                + prim (Primitives × List(X))
+
+The functor's action on a function ``f : Y → Z`` maps ``f`` over every
+``X`` position, leaving the tags and first-order components alone — the
+definition MkSyntax(f) spelled out in §5.1.  Our AST classes *are* the
+summands, so the action is expressed over them directly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+from repro.lang.ast import App, Const, Expr, If, Lam, Let, Prim, Var
+
+
+def mk_syntax_map(f: Callable[[Expr], Expr], node: Expr) -> Expr:
+    """``MkSyntax(f)``: apply ``f`` to the recursive positions of ``node``.
+
+    Exactly Fig. 4's definition: ``MkSyntax(f)(lam (x₁…xₙ, y)) =
+    lam (x₁…xₙ, f y)`` and so on.  Constants and variables have no
+    recursive positions.
+    """
+    if isinstance(node, (Const, Var)):
+        return node
+    if isinstance(node, Lam):
+        return Lam(node.params, f(node.body))
+    if isinstance(node, Let):
+        return Let(node.var, f(node.rhs), f(node.body))
+    if isinstance(node, If):
+        return If(f(node.test), f(node.then), f(node.alt))
+    if isinstance(node, App):
+        return App(f(node.fn), tuple(f(a) for a in node.args))
+    if isinstance(node, Prim):
+        return Prim(node.op, tuple(f(a) for a in node.args))
+    raise TypeError(f"not a Syntax node: {type(node).__name__}")
+
+
+def mk_syntax_children(node: Expr) -> Tuple[Expr, ...]:
+    """The recursive (``X``) positions of a node, in order."""
+    if isinstance(node, (Const, Var)):
+        return ()
+    if isinstance(node, Lam):
+        return (node.body,)
+    if isinstance(node, Let):
+        return (node.rhs, node.body)
+    if isinstance(node, If):
+        return (node.test, node.then, node.alt)
+    if isinstance(node, App):
+        return (node.fn, *node.args)
+    if isinstance(node, Prim):
+        return node.args
+    raise TypeError(f"not a Syntax node: {type(node).__name__}")

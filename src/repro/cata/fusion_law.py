@@ -1,0 +1,62 @@
+"""The fusion (promotion) theorem of §5.4, executable.
+
+Deforestation removes the intermediate data structure from ``f ∘ g`` when
+``g`` builds that structure with constructors that ``f`` folds over.  The
+paper's move: express the producer *parameterized over the syntax
+constructors* — a function from an algebra to a producer — then
+
+    cata(f) ∘ (producer CONSTRUCTORS)  ==  producer f
+
+"we only have to replace the syntax constructor X in the definition [of
+the specializer] by the respective call to function ev-X_C from the
+compiler".  :func:`fuse` is precisely that replacement; the law above is
+checked on concrete producer/consumer instances in the test suite.
+
+The system-level instance of this module's idea is
+:mod:`repro.compiler.fusion`: there the producer is the whole specializer
+(parameterized over the :class:`~repro.pe.backend.Backend` constructors)
+and the consumer is the ANF compiler.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.cata.algebras import ConstructorAlgebra
+from repro.cata.cata import SyntaxAlgebra, cata
+from repro.lang.ast import Expr
+
+# A producer factory: given an algebra over the result type, a function
+# from inputs to results built through that algebra's constructors.
+ProducerFactory = Callable[[SyntaxAlgebra], Callable[[Any], Any]]
+
+
+def fuse(
+    consumer: SyntaxAlgebra, producer_factory: ProducerFactory
+) -> Callable[[Any], Any]:
+    """Deforest ``cata(consumer) ∘ producer``.
+
+    The producer must be given as a factory abstracted over the syntax
+    constructors it uses; fusion instantiates it with the consumer's
+    evaluation functions instead of the constructors, eliminating the
+    intermediate syntax tree.
+    """
+    return producer_factory(consumer)
+
+
+def unfused(
+    consumer: SyntaxAlgebra, producer_factory: ProducerFactory
+) -> Callable[[Any], Any]:
+    """The two-pass composition: build the tree, then fold it.
+
+    The reference implementation the fusion law compares against.
+    """
+    producer = producer_factory(ConstructorAlgebra())
+
+    def run(x: Any) -> Any:
+        tree = producer(x)
+        if not isinstance(tree, Expr):
+            raise TypeError("producer did not build syntax")
+        return cata(consumer, tree)
+
+    return run

@@ -1,0 +1,36 @@
+"""Compilers from Core Scheme to VM templates.
+
+Three compilers live here:
+
+* :mod:`repro.compiler.anf_compiler` — Act 1's compiler: a simple
+  recursive-descent compiler for programs in A-normal form.  Because ANF
+  makes control flow explicit, it threads no compile-time continuation.
+* :mod:`repro.compiler.stock` — the "stock Scheme 48 compiler" stand-in:
+  compiles arbitrary CS, threading a compile-time continuation to identify
+  tail calls.  Used as the Fig. 8 baseline and in the ANF ablation.
+* :mod:`repro.compiler.annotated` — Act 2/3: the ANF compiler written once
+  against an annotation interface, from which both a plain compiler and
+  the object-code generation combinators are derived automatically.
+"""
+
+from repro.compiler.anf_compiler import ANFCompiler, compile_anf_def, compile_anf_expr
+from repro.compiler.annotated import DerivedANFCompiler
+from repro.compiler.cenv import CompileTimeEnv, Closed, Global, Local
+from repro.compiler.fusion import ObjectCodeBackend
+from repro.compiler.program import CompiledProgram, compile_program
+from repro.compiler.stock import StockCompiler
+
+__all__ = [
+    "ANFCompiler",
+    "Closed",
+    "CompileTimeEnv",
+    "CompiledProgram",
+    "DerivedANFCompiler",
+    "Global",
+    "Local",
+    "ObjectCodeBackend",
+    "StockCompiler",
+    "compile_anf_def",
+    "compile_anf_expr",
+    "compile_program",
+]

@@ -1,0 +1,629 @@
+"""Acts 2 and 3: the annotated compiler and its two readings.
+
+Each compilator of the ANF compiler is written **once**, against an
+annotation interface ``A`` (the Python rendering of the paper's ``_``,
+``_let`` and ``_lift-literal`` annotations of §6.2):
+
+* ``A.call(f, ...)``  — the ``_`` annotation: a code-constructing call,
+  delayed until code-generation time;
+* ``A.let(x)``        — the ``_let`` annotation: generation-time sharing
+  (a label created once per combinator invocation, used twice);
+* ``A.lift(c)``       — ``_lift-literal``: a generation-time constant;
+* ``A.compile(c, cenv, depth)`` — the recursive call to the compiler on a
+  subcomponent.
+
+Two implementations of the interface correspond to the paper's two macro
+sets (§6.3):
+
+* :class:`DirectAnnotations` makes the annotations disappear: ``call``
+  applies immediately, ``let``/``lift`` are identities, and ``compile``
+  recurses through the syntax dispatch — "the result is still usable as
+  an ordinary compiler".  :class:`DerivedANFCompiler` packages this as a
+  drop-in compiler, tested to produce *identical templates* to the
+  handwritten Act-1 compiler.
+* :class:`GenAnnotations` runs each compilator **once** with symbolic
+  parameters, recording the delayed operations as a recipe DAG — the
+  analogue of macro-expanding the compilator into a code-generation
+  combinator and "printing [it] into a file".  :func:`derive_combinator`
+  turns a compilator into its ``make-residual-...`` function: the syntax
+  dispatch and node destructuring have been performed once and for all;
+  "the recursive calls to the compilation function on the syntactic
+  subcomponents have been removed (replaced by the identity)" (§5.3) —
+  ``A.compile`` on a subcomponent simply invokes the already-compiled
+  component.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.compiler.cenv import Closed, CompileTimeEnv, Global, Local
+from repro.lang.prims import PRIMITIVES, PrimSpec
+from repro.runtime.values import datum_to_value
+from repro.sexp.datum import Symbol
+from repro.vm.fragments import (
+    Fragment,
+    Lit,
+    attach_label,
+    instruction,
+    instruction_using_label,
+    make_label,
+    sequentially,
+)
+from repro.vm.instructions import Op
+
+
+# ---------------------------------------------------------------------------
+# Staging values for the combinator (Gen) reading.
+# ---------------------------------------------------------------------------
+
+
+class Param:
+    """A symbolic parameter of a combinator recipe (cenv, depth, or a
+    subcomponent slot)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<param {self.name}>"
+
+
+class Delayed:
+    """A delayed call recorded in a recipe DAG."""
+
+    __slots__ = ("fn", "args")
+
+    def __init__(self, fn: Callable, args: tuple):
+        self.fn = fn
+        self.args = args
+
+
+class SharedNode:
+    """A ``_let``-annotated value: forced at most once per invocation."""
+
+    __slots__ = ("inner",)
+
+    def __init__(self, inner: Any):
+        self.inner = inner
+
+
+def force(x: Any, bindings: dict, memo: dict) -> Any:
+    """Evaluate a recipe DAG under parameter ``bindings``.
+
+    ``memo`` implements the generation-time sharing of ``_let``: one entry
+    per :class:`SharedNode` per invocation.
+    """
+    if isinstance(x, Delayed):
+        return x.fn(*[force(a, bindings, memo) for a in x.args])
+    if isinstance(x, SharedNode):
+        key = id(x)
+        if key not in memo:
+            memo[key] = force(x.inner, bindings, memo)
+        return memo[key]
+    if isinstance(x, Param):
+        return bindings[x.name]
+    if isinstance(x, tuple):
+        return tuple(force(item, bindings, memo) for item in x)
+    return x
+
+
+def _apply_component(component: Callable, cenv: Any, depth: Any) -> Any:
+    return component(cenv, depth)
+
+
+class GenAnnotations:
+    """The combinator-generating reading of the annotations."""
+
+    def call(self, fn: Callable, *args: Any) -> Delayed:
+        return Delayed(fn, args)
+
+    def let(self, x: Any) -> SharedNode:
+        return SharedNode(x)
+
+    def lift(self, c: Any) -> Any:
+        return c
+
+    def compile(self, component: Any, cenv: Any, depth: Any) -> Delayed:
+        # "Replaced by the identity": apply the already-compiled component.
+        return Delayed(_apply_component, (component, cenv, depth))
+
+
+class DirectAnnotations:
+    """The annotation-erasing reading: an ordinary compiler."""
+
+    def __init__(self, compiler: "DerivedANFCompiler"):
+        self.compiler = compiler
+
+    def call(self, fn: Callable, *args: Any) -> Any:
+        return fn(*args)
+
+    def let(self, x: Any) -> Any:
+        return x
+
+    def lift(self, c: Any) -> Any:
+        return c
+
+    def compile(self, component: "DirectComponent", cenv: Any, depth: Any) -> Any:
+        return component(cenv, depth)
+
+
+# ---------------------------------------------------------------------------
+# The generation-time helper procedures of the compiler.  These are the
+# ordinary procedures a Scheme 48 compilator would call; in the combinator
+# reading they run at code-generation time (they are all ``_``-annotated
+# call targets in the compilators below).
+# ---------------------------------------------------------------------------
+
+
+class GenCenv:
+    """The compile-time environment threaded through combinators.
+
+    Wraps the name→location map together with the depth tracker of the
+    template under construction (the tracker records how many local slots
+    the template needs).
+    """
+
+    __slots__ = ("env", "tracker")
+
+    def __init__(self, env: CompileTimeEnv, tracker: "DepthTracker"):
+        self.env = env
+        self.tracker = tracker
+
+
+class DepthTracker:
+    __slots__ = ("max_depth",)
+
+    def __init__(self, initial: int):
+        self.max_depth = initial
+
+    def reach(self, depth: int) -> None:
+        if depth > self.max_depth:
+            self.max_depth = depth
+
+
+def bind_local(cenv: GenCenv, var: Symbol, depth: int) -> GenCenv:
+    """Extend the compile-time environment with a let-bound variable."""
+    cenv.tracker.reach(depth + 1)
+    return GenCenv(cenv.env.bind_local(var, depth), cenv.tracker)
+
+
+def inc(depth: int) -> int:
+    return depth + 1
+
+
+def compile_variable(name: Symbol, cenv: GenCenv) -> Fragment:
+    location = cenv.env.lookup(name)
+    if isinstance(location, Local):
+        return instruction(Op.LOCAL, location.index)
+    if isinstance(location, Closed):
+        return instruction(Op.CLOSED, location.index)
+    spec = PRIMITIVES.get(name)
+    if spec is not None:
+        return instruction(Op.CONST, Lit(spec))
+    return instruction(Op.GLOBAL, Lit(name))
+
+
+def const_instruction(value: Any) -> Fragment:
+    return instruction(Op.CONST, Lit(value))
+
+
+def emit_pushed(parts: Sequence[Fragment]) -> Fragment:
+    """Each part computes a value; push each in order."""
+    pieces = []
+    for part in parts:
+        pieces.append(part)
+        pieces.append(instruction(Op.PUSH))
+    return sequentially(*pieces)
+
+
+def compile_components(
+    components: Sequence[Callable], cenv: GenCenv, depth: int
+) -> tuple:
+    """Apply each already-compiled component to the current context."""
+    return tuple(c(cenv, depth) for c in components)
+
+
+def prim_instruction(spec: PrimSpec, n: int) -> Fragment:
+    return instruction(Op.PRIM, Lit(spec), n)
+
+
+def call_instruction(n: int) -> Fragment:
+    return instruction(Op.CALL, n)
+
+
+def tail_call_instruction(n: int) -> Fragment:
+    return instruction(Op.TAIL_CALL, n)
+
+
+def setloc_instruction(depth: int) -> Fragment:
+    return instruction(Op.SETLOC, depth)
+
+
+def return_instruction() -> Fragment:
+    return instruction(Op.RETURN)
+
+
+def length_of(xs: Sequence) -> int:
+    return len(xs)
+
+
+def make_lambda_template(
+    params: Sequence[Symbol],
+    captured: Sequence[Symbol],
+    body: Callable,
+    name: str = "lambda",
+):
+    """Assemble the nested template for a residual ``lambda``."""
+    from repro.vm.assembler import assemble
+
+    inner_env = CompileTimeEnv.for_procedure(tuple(params), tuple(captured))
+    tracker = DepthTracker(len(params))
+    cenv = GenCenv(inner_env, tracker)
+    fragment = body(cenv, len(params))
+    return assemble(fragment, len(params), tracker.max_depth, name)
+
+
+def emit_captured(captured: Sequence[Symbol], cenv: GenCenv) -> Fragment:
+    """Push the values of the captured variables, in order."""
+    return emit_pushed([compile_variable(v, cenv) for v in captured])
+
+
+def make_closure_instruction(template, n: int) -> Fragment:
+    return instruction(Op.MAKE_CLOSURE, Lit(template), n)
+
+
+def freeze_constant(value: Any) -> Any:
+    """Constants arrive as run-time values from the specializer."""
+    return value
+
+
+# ---------------------------------------------------------------------------
+# The annotated compilators — each written once (§6.2).
+# Components are already-compiled subexpressions: a *trivial* component
+# leaves its value in ``val``; a *body* component produces complete tail
+# code.  ``cenv``/``depth`` are unknown until code-generation time, so every
+# operation touching them is ``A.call``-annotated.
+# ---------------------------------------------------------------------------
+
+
+def compilator_if(A, test, then, alt, cenv, depth):
+    """(if V M M) — test, conditional jump, two arms (cf. §6.1/§6.2)."""
+    alt_label = A.let(A.call(make_label))
+    return A.call(
+        sequentially,
+        # Test
+        A.compile(test, cenv, depth),
+        A.call(
+            instruction_using_label, A.lift(Op.JUMP_IF_FALSE), alt_label
+        ),
+        # Consequent
+        A.compile(then, cenv, depth),
+        # Alternative
+        A.call(attach_label, alt_label, A.compile(alt, cenv, depth)),
+    )
+
+
+def compilator_let(A, var, rhs, body, cenv, depth):
+    """(let (x B) M) — bind the rhs value to the next stack slot."""
+    return A.call(
+        sequentially,
+        A.compile(rhs, cenv, depth),
+        A.call(setloc_instruction, depth),
+        A.compile(
+            body,
+            A.call(bind_local, cenv, var, depth),
+            A.call(inc, depth),
+        ),
+    )
+
+
+def compilator_return(A, triv, cenv, depth):
+    """A trivial expression in tail position."""
+    return A.call(
+        sequentially, A.compile(triv, cenv, depth), A.call(return_instruction)
+    )
+
+
+def compilator_prim(A, spec, args, cenv, depth):
+    """(O V ...) in value position: push arguments, apply the primitive."""
+    return A.call(
+        sequentially,
+        A.call(emit_pushed, A.call(compile_components, args, cenv, depth)),
+        A.call(prim_instruction, spec, A.call(length_of, args)),
+    )
+
+
+def _operator_and_args(fn, args, cenv: GenCenv, depth: int) -> tuple:
+    """Compile the operator followed by the arguments."""
+    return compile_components((fn,) + tuple(args), cenv, depth)
+
+
+def compilator_call(A, fn, args, cenv, depth):
+    """(V V ...) in value (non-tail) position: CALL pushes a continuation."""
+    return A.call(
+        sequentially,
+        A.call(emit_pushed, A.call(_operator_and_args, fn, args, cenv, depth)),
+        A.call(call_instruction, A.call(length_of, args)),
+    )
+
+
+def compilator_tail_call(A, fn, args, cenv, depth):
+    """(V V ...) in tail position: a jump (§6.1 — "all others are jumps")."""
+    return A.call(
+        sequentially,
+        A.call(emit_pushed, A.call(_operator_and_args, fn, args, cenv, depth)),
+        A.call(tail_call_instruction, A.call(length_of, args)),
+    )
+
+
+def compilator_variable(A, name, cenv, depth):
+    """A variable reference: stack slot, closure slot, or global."""
+    return A.call(compile_variable, name, cenv)
+
+
+def compilator_const(A, value, cenv, depth):
+    """A constant: loaded from the literal frame."""
+    return A.call(const_instruction, value)
+
+
+def compilator_lambda(A, params, captured, body, cenv, depth):
+    """(lambda (x ...) M): nested template + closure over captured values."""
+    template = A.let(A.call(make_lambda_template, params, captured, body))
+    return A.call(
+        sequentially,
+        A.call(emit_captured, captured, cenv),
+        A.call(
+            make_closure_instruction, template, A.call(length_of, captured)
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Deriving the code-generation combinators (Act 3, §6.3.2).
+# ---------------------------------------------------------------------------
+
+
+def compile_recipe(
+    x: Any, slot_index: dict[str, int]
+) -> Callable[[tuple, dict], Any]:
+    """Compile a recipe DAG into nested closures, once.
+
+    Equivalent to ``force`` but with all dispatch on node kinds — and all
+    parameter lookups, resolved to tuple indices — performed ahead of
+    time: the same staging move the whole paper is about, applied to the
+    combinator recipes themselves.  ``b`` is the positional binding tuple
+    (slots, then cenv, then depth); ``m`` the per-invocation sharing memo.
+    """
+    if isinstance(x, Delayed):
+        fn = x.fn
+        subs = tuple(compile_recipe(a, slot_index) for a in x.args)
+        return lambda b, m: fn(*[s(b, m) for s in subs])
+    if isinstance(x, SharedNode):
+        inner = compile_recipe(x.inner, slot_index)
+        key = id(x)
+
+        def shared(b: tuple, m: dict) -> Any:
+            if key not in m:
+                m[key] = inner(b, m)
+            return m[key]
+
+        return shared
+    if isinstance(x, Param):
+        index = slot_index[x.name]
+        return lambda b, m: b[index]
+    if isinstance(x, tuple):
+        subs = tuple(compile_recipe(item, slot_index) for item in x)
+        return lambda b, m: tuple(s(b, m) for s in subs)
+    return lambda b, m: x
+
+
+def derive_combinator(compilator: Callable, static_slots: Sequence[str],
+                      component_slots: Sequence[str]) -> Callable:
+    """Expand ``compilator`` once into a ``make-residual-...`` function.
+
+    The returned function takes the static slots and component slots as
+    keyword-free positional arguments (statics first, components second)
+    and yields the code-generating closure ``(cenv, depth) -> fragment``.
+    """
+    A = GenAnnotations()
+    slot_names = (*static_slots, *component_slots)
+    params = {name: Param(name) for name in slot_names}
+    cenv_p, depth_p = Param("cenv"), Param("depth")
+    recipe = compilator(
+        A, *[params[name] for name in slot_names], cenv_p, depth_p
+    )
+    slot_index = {name: i for i, name in enumerate(slot_names)}
+    slot_index["cenv"] = len(slot_names)
+    slot_index["depth"] = len(slot_names) + 1
+    compiled = compile_recipe(recipe, slot_index)
+    n_slots = len(slot_names)
+
+    def combinator(*slot_values: Any) -> Callable:
+        if len(slot_values) != n_slots:
+            raise TypeError(
+                f"combinator expects {n_slots} arguments,"
+                f" got {len(slot_values)}"
+            )
+
+        def emit(cenv: GenCenv, depth: int) -> Fragment:
+            return compiled(slot_values + (cenv, depth), {})
+
+        return emit
+
+    combinator.__name__ = f"make_residual_{compilator.__name__[11:]}"
+    return combinator
+
+
+# The derived combinator set: the direct replacements for the syntax
+# constructors in the specializer (§6.3.2's make-residual-... functions).
+make_residual_if = derive_combinator(
+    compilator_if, (), ("test", "then", "alt")
+)
+make_residual_let = derive_combinator(
+    compilator_let, ("var",), ("rhs", "body")
+)
+make_residual_return = derive_combinator(
+    compilator_return, (), ("triv",)
+)
+make_residual_prim = derive_combinator(
+    compilator_prim, ("spec",), ("args",)
+)
+make_residual_call = derive_combinator(
+    compilator_call, (), ("fn", "args")
+)
+make_residual_tail_call = derive_combinator(
+    compilator_tail_call, (), ("fn", "args")
+)
+make_residual_variable = derive_combinator(
+    compilator_variable, ("name",), ()
+)
+make_residual_const = derive_combinator(
+    compilator_const, ("value",), ()
+)
+make_residual_lambda = derive_combinator(
+    compilator_lambda, ("params", "captured"), ("body",)
+)
+
+
+# ---------------------------------------------------------------------------
+# The annotation-erasing reading: a complete compiler from the same
+# compilator definitions (tested identical to the handwritten Act-1
+# compiler).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DirectComponent:
+    """A subcomponent for the direct reading: compile node with ``kind``."""
+
+    compiler: "DerivedANFCompiler"
+    kind: str
+    node: Any
+
+    def __call__(self, cenv: GenCenv, depth: int) -> Fragment:
+        return self.compiler.compile_kind(self.kind, self.node, cenv, depth)
+
+
+class DerivedANFCompiler:
+    """The ANF compiler obtained by erasing the annotations.
+
+    Same dispatch structure as the handwritten compiler; all fragment
+    construction comes from the annotated compilators run under
+    :class:`DirectAnnotations`.
+    """
+
+    def __init__(self) -> None:
+        self.A = DirectAnnotations(self)
+
+    def compile_procedure(self, params, body, free=(), name="anonymous"):
+        from repro.vm.assembler import assemble
+
+        env = CompileTimeEnv.for_procedure(tuple(params), tuple(free))
+        tracker = DepthTracker(len(params))
+        cenv = GenCenv(env, tracker)
+        fragment = self.compile_kind("tail", body, cenv, len(params))
+        return assemble(fragment, len(params), tracker.max_depth, name)
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def compile_kind(self, kind: str, node, cenv: GenCenv, depth: int):
+        from repro.lang.ast import App, Const, If, Lam, Let, Prim, Var
+
+        A = self.A
+        if kind == "tail":
+            if isinstance(node, Let):
+                return compilator_let(
+                    A,
+                    node.var,
+                    self._rhs_component(node.rhs),
+                    DirectComponent(self, "tail", node.body),
+                    cenv,
+                    depth,
+                )
+            if isinstance(node, If):
+                return compilator_if(
+                    A,
+                    DirectComponent(self, "trivial", node.test),
+                    DirectComponent(self, "tail", node.then),
+                    DirectComponent(self, "tail", node.alt),
+                    cenv,
+                    depth,
+                )
+            if isinstance(node, App):
+                return compilator_tail_call(
+                    A,
+                    DirectComponent(self, "trivial", node.fn),
+                    tuple(
+                        DirectComponent(self, "trivial", a) for a in node.args
+                    ),
+                    cenv,
+                    depth,
+                )
+            if isinstance(node, Prim):
+                return compilator_return(
+                    A, DirectComponent(self, "value", node), cenv, depth
+                )
+            return compilator_return(
+                A, DirectComponent(self, "trivial", node), cenv, depth
+            )
+        if kind == "value":
+            # A serious expression in value position (a let rhs).
+            if isinstance(node, App):
+                return compilator_call(
+                    A,
+                    DirectComponent(self, "trivial", node.fn),
+                    tuple(
+                        DirectComponent(self, "trivial", a) for a in node.args
+                    ),
+                    cenv,
+                    depth,
+                )
+            if isinstance(node, Prim):
+                spec = PRIMITIVES[node.op]
+                return compilator_prim(
+                    A,
+                    spec,
+                    tuple(
+                        DirectComponent(self, "trivial", a) for a in node.args
+                    ),
+                    cenv,
+                    depth,
+                )
+            return self.compile_kind("trivial", node, cenv, depth)
+        if kind == "trivial":
+            if isinstance(node, Const):
+                return compilator_const(
+                    A, datum_to_value(node.value), cenv, depth
+                )
+            if isinstance(node, Var):
+                return compilator_variable(A, node.name, cenv, depth)
+            if isinstance(node, Lam):
+                from repro.lang.freevars import free_variables
+
+                captured = tuple(
+                    sorted(
+                        (
+                            v
+                            for v in free_variables(node)
+                            if cenv.env.is_bound_locally(v)
+                        ),
+                        key=lambda s: s.name,
+                    )
+                )
+                return compilator_lambda(
+                    A,
+                    node.params,
+                    captured,
+                    DirectComponent(self, "tail", node.body),
+                    cenv,
+                    depth,
+                )
+            raise TypeError(f"not a trivial expression: {type(node).__name__}")
+        raise ValueError(f"unknown component kind {kind!r}")
+
+    def _rhs_component(self, rhs) -> DirectComponent:
+        return DirectComponent(self, "value", rhs)

@@ -1,0 +1,25 @@
+"""The direct Core Scheme interpreter — the system's reference semantics.
+
+Every other execution path (the VM, the specializer, the fused RTCG
+system) is tested against this interpreter.
+"""
+
+from repro.interp.eval import (
+    Closure,
+    Env,
+    Interpreter,
+    PrimProcedure,
+    StepLimitExceeded,
+    eval_expr,
+    run_program,
+)
+
+__all__ = [
+    "Closure",
+    "Env",
+    "Interpreter",
+    "PrimProcedure",
+    "StepLimitExceeded",
+    "eval_expr",
+    "run_program",
+]

@@ -1,0 +1,218 @@
+"""A direct interpreter for Core Scheme.
+
+The evaluator is written as an explicit loop over tail positions, so
+Scheme-level loops written as tail recursion run in constant Python stack
+space — the same discipline the bytecode VM follows.  Non-tail
+subexpressions use Python recursion.
+
+An optional step limit supports property-based testing over randomly
+generated (possibly divergent) programs.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.lang.ast import (
+    App,
+    Const,
+    Def,
+    Expr,
+    If,
+    Lam,
+    Let,
+    Prim,
+    Program,
+    SetBang,
+    Var,
+)
+from repro.lang.prims import PRIMITIVES, PrimSpec, register_procedure_type
+from repro.runtime.errors import SchemeError
+from repro.runtime.values import datum_to_value, is_truthy
+from repro.sexp.datum import Symbol
+
+
+class StepLimitExceeded(SchemeError):
+    """The interpreter's optional fuel ran out."""
+
+
+class Env:
+    """A linked environment frame."""
+
+    __slots__ = ("bindings", "parent")
+
+    def __init__(self, bindings: dict[Symbol, Any], parent: "Env | None"):
+        self.bindings = bindings
+        self.parent = parent
+
+    def lookup(self, name: Symbol) -> Any:
+        env: Env | None = self
+        while env is not None:
+            try:
+                return env.bindings[name]
+            except KeyError:
+                env = env.parent
+        raise SchemeError(f"unbound variable: {name}")
+
+    def child(self, bindings: dict[Symbol, Any]) -> "Env":
+        return Env(bindings, self)
+
+
+class Closure:
+    """A first-class procedure value of the interpreter."""
+
+    __slots__ = ("params", "body", "env", "name")
+
+    def __init__(
+        self,
+        params: tuple[Symbol, ...],
+        body: Expr,
+        env: Env | None,
+        name: str = "lambda",
+    ):
+        self.params = params
+        self.body = body
+        self.env = env
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"#<closure {self.name}/{len(self.params)}>"
+
+
+class PrimProcedure:
+    """A primitive used as a first-class value (``(map car ...)`` style)."""
+
+    __slots__ = ("spec",)
+
+    def __init__(self, spec: PrimSpec):
+        self.spec = spec
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"#<primitive {self.spec.name}>"
+
+
+register_procedure_type(Closure)
+register_procedure_type(PrimProcedure)
+
+
+class Interpreter:
+    """Evaluates programs and expressions against the reference semantics."""
+
+    def __init__(self, program: Program | None = None, step_limit: int | None = None):
+        self.globals: dict[Symbol, Any] = {}
+        self.step_limit = step_limit
+        self._steps = 0
+        if program is not None:
+            self.load(program)
+
+    def load(self, program: Program) -> None:
+        for d in program.defs:
+            self.globals[d.name] = Closure(d.params, d.body, None, d.name.name)
+
+    # -- procedure application ------------------------------------------------
+
+    def apply(self, fn: Any, args: list) -> Any:
+        """Apply a procedure value to arguments (non-tail, from Python)."""
+        if isinstance(fn, PrimProcedure):
+            return fn.spec.apply(args)
+        if not isinstance(fn, Closure):
+            raise SchemeError(f"attempt to apply non-procedure {fn!r}")
+        if len(args) != len(fn.params):
+            raise SchemeError(
+                f"{fn.name}: expected {len(fn.params)} arguments, got {len(args)}"
+            )
+        env = Env(dict(zip(fn.params, args)), fn.env)
+        return self.eval(fn.body, env)
+
+    # -- evaluation -------------------------------------------------------------
+
+    def eval(self, expr: Expr, env: Env | None) -> Any:
+        """Evaluate ``expr``; tail positions iterate instead of recursing."""
+        while True:
+            if self.step_limit is not None:
+                self._steps += 1
+                if self._steps > self.step_limit:
+                    raise StepLimitExceeded("step limit exceeded")
+            if isinstance(expr, Const):
+                return datum_to_value(expr.value)
+            if isinstance(expr, Var):
+                return self._lookup(expr.name, env)
+            if isinstance(expr, Lam):
+                return Closure(expr.params, expr.body, env)
+            if isinstance(expr, Let):
+                value = self.eval(expr.rhs, env)
+                env = Env({expr.var: value}, env)
+                expr = expr.body
+                continue
+            if isinstance(expr, If):
+                test = self.eval(expr.test, env)
+                expr = expr.then if is_truthy(test) else expr.alt
+                continue
+            if isinstance(expr, Prim):
+                spec = PRIMITIVES[expr.op]
+                args = [self.eval(a, env) for a in expr.args]
+                return spec.apply(args)
+            if isinstance(expr, App):
+                fn = self.eval(expr.fn, env)
+                args = [self.eval(a, env) for a in expr.args]
+                if isinstance(fn, PrimProcedure):
+                    return fn.spec.apply(args)
+                if not isinstance(fn, Closure):
+                    raise SchemeError(f"attempt to apply non-procedure {fn!r}")
+                if len(args) != len(fn.params):
+                    raise SchemeError(
+                        f"{fn.name}: expected {len(fn.params)} arguments,"
+                        f" got {len(args)}"
+                    )
+                env = Env(dict(zip(fn.params, args)), fn.env)
+                expr = fn.body
+                continue
+            if isinstance(expr, SetBang):
+                raise SchemeError(
+                    "set! reached the evaluator; run assignment elimination first"
+                )
+            raise SchemeError(f"cannot evaluate {type(expr).__name__}")
+
+    def _lookup(self, name: Symbol, env: Env | None) -> Any:
+        e = env
+        while e is not None:
+            if name in e.bindings:
+                return e.bindings[name]
+            e = e.parent
+        if name in self.globals:
+            return self.globals[name]
+        spec = PRIMITIVES.get(name)
+        if spec is not None:
+            return PrimProcedure(spec)
+        raise SchemeError(f"unbound variable: {name}")
+
+    def call(self, name: Symbol | str, args: Sequence[Any]) -> Any:
+        """Call a top-level function by name with run-time values."""
+        from repro.sexp.datum import sym
+
+        key = sym(name) if isinstance(name, str) else name
+        fn = self.globals.get(key)
+        if fn is None:
+            raise SchemeError(f"undefined function: {key}")
+        return self.apply(fn, list(args))
+
+
+def run_program(
+    program: Program, args: Sequence[Any], step_limit: int | None = None
+) -> Any:
+    """Run ``program``'s goal function on ``args`` (run-time values).
+
+    Convenience entry point: runs assignment elimination first when the
+    program still contains ``set!`` (desugared ``letrec``/named ``let``).
+    """
+    from repro.lang.assignment import eliminate_assignments, has_assignments
+
+    if any(has_assignments(d.body) for d in program.defs):
+        program = eliminate_assignments(program)
+    interp = Interpreter(program, step_limit=step_limit)
+    return interp.call(program.goal, list(args))
+
+
+def eval_expr(expr: Expr, step_limit: int | None = None) -> Any:
+    """Evaluate a closed expression."""
+    return Interpreter(step_limit=step_limit).eval(expr, None)

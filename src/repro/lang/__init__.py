@@ -1,0 +1,107 @@
+"""Core Scheme (CS) language front end.
+
+The abstract syntax follows Fig. 1 of the paper; the annotated abstract
+syntax (ACS) adds the dynamic (underlined) constructs of Fig. 3.  The
+surface language is a practical Scheme subset that :mod:`repro.lang.desugar`
+macro-expands into core forms.  The front-end pipeline mirrors the paper's
+description of the specializer front end: desugaring, lambda lifting, and
+assignment elimination.
+"""
+
+from repro.lang.alpha import alpha_rename, alpha_rename_expr
+from repro.lang.assignment import (
+    assigned_variables,
+    eliminate_assignments,
+    eliminate_assignments_expr,
+    has_assignments,
+)
+from repro.lang.ast import (
+    ACS_NODE_TYPES,
+    App,
+    Const,
+    DApp,
+    DIf,
+    DLam,
+    DPrim,
+    Def,
+    Expr,
+    If,
+    Lam,
+    Let,
+    Lift,
+    MemoCall,
+    Prim,
+    Program,
+    SetBang,
+    Var,
+    count_nodes,
+    is_annotated,
+    walk,
+)
+from repro.lang.desugar import DesugarError, desugar, desugar_program
+from repro.lang.freevars import free_variables
+from repro.lang.gensym import Gensym
+from repro.lang.lambda_lift import lambda_lift
+from repro.lang.parser import (
+    ParseError,
+    parse_core,
+    parse_def,
+    parse_expr,
+    parse_program,
+)
+from repro.lang.prelude import PRELUDE_SOURCE, prelude_definitions, with_prelude
+from repro.lang.prims import PRIMITIVES, PrimSpec, is_primitive
+from repro.lang.simplify import beta_let, beta_let_program
+from repro.lang.unparse import unparse, unparse_def, unparse_program
+
+__all__ = [
+    "ACS_NODE_TYPES",
+    "App",
+    "Const",
+    "DApp",
+    "DIf",
+    "DLam",
+    "DPrim",
+    "Def",
+    "DesugarError",
+    "Expr",
+    "Gensym",
+    "If",
+    "Lam",
+    "Let",
+    "Lift",
+    "MemoCall",
+    "ParseError",
+    "Prim",
+    "PRIMITIVES",
+    "PrimSpec",
+    "Program",
+    "SetBang",
+    "Var",
+    "alpha_rename",
+    "alpha_rename_expr",
+    "assigned_variables",
+    "beta_let",
+    "beta_let_program",
+    "count_nodes",
+    "desugar",
+    "desugar_program",
+    "eliminate_assignments",
+    "eliminate_assignments_expr",
+    "free_variables",
+    "has_assignments",
+    "is_annotated",
+    "is_primitive",
+    "lambda_lift",
+    "parse_core",
+    "parse_def",
+    "parse_expr",
+    "parse_program",
+    "PRELUDE_SOURCE",
+    "prelude_definitions",
+    "unparse",
+    "unparse_def",
+    "unparse_program",
+    "walk",
+    "with_prelude",
+]

@@ -1,0 +1,100 @@
+"""Alpha renaming: make every bound variable name unique.
+
+Several later passes (assignment elimination, lambda lifting, binding-time
+analysis) assume unique bound names so they can use global maps instead of
+scoped environments.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    App,
+    Const,
+    Def,
+    Expr,
+    If,
+    Lam,
+    Let,
+    Prim,
+    Program,
+    SetBang,
+    Var,
+)
+from repro.lang.gensym import Gensym
+from repro.sexp.datum import Symbol
+
+
+def alpha_rename_expr(
+    expr: Expr,
+    gensym: Gensym,
+    env: dict[Symbol, Symbol] | None = None,
+    keep_free: bool = True,
+) -> Expr:
+    """Rename bound variables in ``expr`` to fresh names.
+
+    Free variables are left alone (they refer to parameters or globals that
+    the caller controls).
+    """
+    return _rename(expr, dict(env or {}), gensym)
+
+
+def _rename(expr: Expr, env: dict[Symbol, Symbol], gensym: Gensym) -> Expr:
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, Var):
+        return Var(env.get(expr.name, expr.name))
+    if isinstance(expr, Lam):
+        fresh = [gensym.fresh(p) for p in expr.params]
+        inner = dict(env)
+        inner.update(zip(expr.params, fresh))
+        return Lam(tuple(fresh), _rename(expr.body, inner, gensym))
+    if isinstance(expr, Let):
+        rhs = _rename(expr.rhs, env, gensym)
+        fresh_var = gensym.fresh(expr.var)
+        inner = dict(env)
+        inner[expr.var] = fresh_var
+        return Let(fresh_var, rhs, _rename(expr.body, inner, gensym))
+    if isinstance(expr, If):
+        return If(
+            _rename(expr.test, env, gensym),
+            _rename(expr.then, env, gensym),
+            _rename(expr.alt, env, gensym),
+        )
+    if isinstance(expr, App):
+        return App(
+            _rename(expr.fn, env, gensym),
+            tuple(_rename(a, env, gensym) for a in expr.args),
+        )
+    if isinstance(expr, Prim):
+        return Prim(expr.op, tuple(_rename(a, env, gensym) for a in expr.args))
+    if isinstance(expr, SetBang):
+        return SetBang(env.get(expr.var, expr.var), _rename(expr.rhs, env, gensym))
+    raise TypeError(f"alpha renaming does not handle {type(expr).__name__}")
+
+
+def alpha_rename(
+    program: Program,
+    gensym: Gensym | None = None,
+    rename_params: bool = False,
+) -> Program:
+    """Alpha-rename every definition body.
+
+    With ``rename_params=False`` top-level parameter names are left intact
+    (they are already unique per definition and keeping them makes residual
+    programs readable); all inner binders get fresh names.  With
+    ``rename_params=True`` parameters are renamed too, so every bound name
+    in the whole program is globally unique — the precondition of the
+    binding-time analysis.
+    """
+    gs = gensym or Gensym("r")
+    defs = []
+    for d in program.defs:
+        if rename_params:
+            params = tuple(gs.fresh(p) for p in d.params)
+            env = dict(zip(d.params, params))
+        else:
+            params = d.params
+            env = {}
+        body = _rename(d.body, env, gs)
+        defs.append(Def(d.name, params, body))
+    return Program(tuple(defs), program.goal)

@@ -1,0 +1,123 @@
+"""Assignment elimination.
+
+Converts every assigned variable into an explicit reference cell so the
+rest of the system (the partial evaluator and the compilers) only ever sees
+immutable bindings.  After this pass no ``SetBang`` node remains:
+
+* a binder of an assigned variable allocates a cell: ``(make-cell v)``;
+* references become ``(cell-ref x)``;
+* assignments become ``(cell-set! x e)``.
+
+This is the pass the paper lists among the specializer's front-end duties
+("performs lambda lifting and assignment elimination").  The program must
+be alpha-renamed first; :func:`eliminate_assignments` does so itself.
+"""
+
+from __future__ import annotations
+
+from repro.lang.alpha import alpha_rename
+from repro.lang.ast import (
+    App,
+    Const,
+    Def,
+    Expr,
+    If,
+    Lam,
+    Let,
+    Prim,
+    Program,
+    SetBang,
+    Var,
+    walk,
+)
+from repro.lang.gensym import Gensym
+from repro.sexp.datum import Symbol, sym
+
+_MAKE_CELL = sym("make-cell")
+_CELL_REF = sym("cell-ref")
+_CELL_SET = sym("cell-set!")
+
+
+def assigned_variables(expr: Expr) -> frozenset[Symbol]:
+    """All ``set!`` targets in ``expr``."""
+    return frozenset(
+        node.var for node in walk(expr) if isinstance(node, SetBang)
+    )
+
+
+def has_assignments(expr: Expr) -> bool:
+    return any(isinstance(node, SetBang) for node in walk(expr))
+
+
+def eliminate_assignments(program: Program, gensym: Gensym | None = None) -> Program:
+    """Remove every ``set!`` from ``program`` by introducing cells."""
+    gs = gensym or Gensym("a")
+    program = alpha_rename(program, gs)
+    defs = []
+    for d in program.defs:
+        assigned = assigned_variables(d.body)
+        body = _eliminate(d.body, assigned, gs)
+        # Assigned top-level parameters get a cell binding around the body:
+        # the raw value arrives under a fresh name; the original name is
+        # rebound to a cell, which the rewritten body reads via cell-ref.
+        params = list(d.params)
+        for i, p in enumerate(params):
+            if p in assigned:
+                incoming = gs.fresh(p)
+                params[i] = incoming
+                body = Let(p, Prim(_MAKE_CELL, (Var(incoming),)), body)
+        defs.append(Def(d.name, tuple(params), body))
+    return Program(tuple(defs), program.goal)
+
+
+def eliminate_assignments_expr(expr: Expr, gensym: Gensym | None = None) -> Expr:
+    """Expression-level variant (free variables must not be assigned)."""
+    from repro.lang.alpha import alpha_rename_expr
+
+    gs = gensym or Gensym("a")
+    expr = alpha_rename_expr(expr, gs)
+    return _eliminate(expr, assigned_variables(expr), gs)
+
+
+def _eliminate(expr: Expr, assigned: frozenset[Symbol], gensym: Gensym) -> Expr:
+    if isinstance(expr, Var):
+        if expr.name in assigned:
+            return Prim(_CELL_REF, (expr,))
+        return expr
+    if isinstance(expr, Const):
+        return expr
+    if isinstance(expr, SetBang):
+        rhs = _eliminate(expr.rhs, assigned, gensym)
+        return Prim(_CELL_SET, (Var(expr.var), rhs))
+    if isinstance(expr, Lam):
+        body = _eliminate(expr.body, assigned, gensym)
+        # Assigned parameters get rebound to cells on entry.
+        params = list(expr.params)
+        for i, p in enumerate(params):
+            if p in assigned:
+                fresh = gensym.fresh(p)
+                params[i] = fresh
+                body = Let(p, Prim(_MAKE_CELL, (Var(fresh),)), body)
+        return Lam(tuple(params), body)
+    if isinstance(expr, Let):
+        rhs = _eliminate(expr.rhs, assigned, gensym)
+        body = _eliminate(expr.body, assigned, gensym)
+        if expr.var in assigned:
+            rhs = Prim(_MAKE_CELL, (rhs,))
+        return Let(expr.var, rhs, body)
+    if isinstance(expr, If):
+        return If(
+            _eliminate(expr.test, assigned, gensym),
+            _eliminate(expr.then, assigned, gensym),
+            _eliminate(expr.alt, assigned, gensym),
+        )
+    if isinstance(expr, App):
+        return App(
+            _eliminate(expr.fn, assigned, gensym),
+            tuple(_eliminate(a, assigned, gensym) for a in expr.args),
+        )
+    if isinstance(expr, Prim):
+        return Prim(
+            expr.op, tuple(_eliminate(a, assigned, gensym) for a in expr.args)
+        )
+    raise TypeError(f"assignment elimination does not handle {type(expr).__name__}")

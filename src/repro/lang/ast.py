@@ -1,0 +1,299 @@
+"""Abstract syntax for Core Scheme (CS) and Annotated Core Scheme (ACS).
+
+CS is the language of Fig. 1 in the paper::
+
+    M ::= V | (if V M M) | (let (x M) M) | (M M ...) | (O M ...)
+    V ::= c | x | (lambda (x ...) M)
+
+(in its unrestricted form: subexpressions of ``if``/applications are
+arbitrary expressions; the ANF restriction of Fig. 2 is checked separately
+by :mod:`repro.anf.grammar`).
+
+ACS extends CS with the *dynamic* (underlined) constructs used by the
+specializer of Fig. 3: ``lift``, dynamic primitives, dynamic lambdas,
+dynamic applications, and dynamic conditionals, plus ``MemoCall`` — an
+annotated call to a dynamic top-level function that is handled through the
+specializer's memoization table (the paper omits memoization from Fig. 3
+"since [it is] standard").
+
+All nodes are immutable and compare structurally, which makes expressions
+usable as dictionary keys (memoization, caching of analyses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Tuple
+
+from repro.sexp.datum import Symbol
+
+
+class Expr:
+    """Base class for CS/ACS expressions."""
+
+    __slots__ = ()
+
+    def children(self) -> Tuple["Expr", ...]:
+        """The direct subexpressions, in evaluation order."""
+        raise NotImplementedError
+
+    def is_value(self) -> bool:
+        """True for the V productions of Fig. 1: constants, variables, lambdas."""
+        return False
+
+
+@dataclass(frozen=True, slots=True)
+class Const(Expr):
+    """A constant (quoted datum or self-evaluating literal).
+
+    ``value`` holds immutable Python data only: lists are converted to
+    tuples by the parser so constants stay hashable.
+    """
+
+    value: Any
+
+    def children(self) -> Tuple[Expr, ...]:
+        return ()
+
+    def is_value(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True, slots=True)
+class Var(Expr):
+    """A variable reference."""
+
+    name: Symbol
+
+    def children(self) -> Tuple[Expr, ...]:
+        return ()
+
+    def is_value(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True, slots=True)
+class Lam(Expr):
+    """``(lambda (x1 ... xn) M)``."""
+
+    params: Tuple[Symbol, ...]
+    body: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.body,)
+
+    def is_value(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True, slots=True)
+class Let(Expr):
+    """``(let (x M1) M2)`` — the single-binding let of Fig. 1."""
+
+    var: Symbol
+    rhs: Expr
+    body: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.rhs, self.body)
+
+
+@dataclass(frozen=True, slots=True)
+class If(Expr):
+    """``(if M1 M2 M3)``."""
+
+    test: Expr
+    then: Expr
+    alt: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.test, self.then, self.alt)
+
+
+@dataclass(frozen=True, slots=True)
+class App(Expr):
+    """``(M0 M1 ... Mn)`` — procedure application."""
+
+    fn: Expr
+    args: Tuple[Expr, ...]
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.fn, *self.args)
+
+
+@dataclass(frozen=True, slots=True)
+class Prim(Expr):
+    """``(O M1 ... Mn)`` — primitive operation."""
+
+    op: Symbol
+    args: Tuple[Expr, ...]
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.args
+
+
+@dataclass(frozen=True, slots=True)
+class SetBang(Expr):
+    """``(set! x M)``.
+
+    Not part of CS proper: the front end's assignment-elimination pass
+    (:mod:`repro.lang.assignment`) removes every occurrence before the
+    partial evaluator or the compiler sees the program, exactly as the
+    paper states the specializer "performs lambda lifting and assignment
+    elimination".
+    """
+
+    var: Symbol
+    rhs: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.rhs,)
+
+
+# --------------------------------------------------------------------------
+# Annotated constructs (ACS).  The unannotated constructs above are the
+# *static* ones; these are the dynamic, code-generating ones of Fig. 3.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Lift(Expr):
+    """``(lift M)`` — coerce a first-order static value to code."""
+
+    expr: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.expr,)
+
+
+@dataclass(frozen=True, slots=True)
+class DPrim(Expr):
+    """``(O^D M1 ... Mn)`` — residualized primitive operation."""
+
+    op: Symbol
+    args: Tuple[Expr, ...]
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.args
+
+
+@dataclass(frozen=True, slots=True)
+class DLam(Expr):
+    """``(lambda^D (x ...) M)`` — a lambda that appears in the residual code."""
+
+    params: Tuple[Symbol, ...]
+    body: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.body,)
+
+    def is_value(self) -> bool:
+        return True
+
+
+@dataclass(frozen=True, slots=True)
+class DApp(Expr):
+    """``(@^D M0 M1 ... Mn)`` — residualized application."""
+
+    fn: Expr
+    args: Tuple[Expr, ...]
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.fn, *self.args)
+
+
+@dataclass(frozen=True, slots=True)
+class DIf(Expr):
+    """``(if^D M1 M2 M3)`` — residualized conditional."""
+
+    test: Expr
+    then: Expr
+    alt: Expr
+
+    def children(self) -> Tuple[Expr, ...]:
+        return (self.test, self.then, self.alt)
+
+
+@dataclass(frozen=True, slots=True)
+class MemoCall(Expr):
+    """An annotated call to the dynamic top-level function ``name``.
+
+    The specializer's memoization machinery splits the arguments by the
+    callee's binding-time signature, looks up (static-name, static-values)
+    in the memo table, and emits a residual call to the specialized
+    version.  ``args`` are in the callee's parameter order.
+    """
+
+    name: Symbol
+    args: Tuple[Expr, ...]
+
+    def children(self) -> Tuple[Expr, ...]:
+        return self.args
+
+
+ACS_NODE_TYPES = (Lift, DPrim, DLam, DApp, DIf, MemoCall)
+
+
+# --------------------------------------------------------------------------
+# Programs
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Def:
+    """A top-level definition ``(define (name params...) body)``."""
+
+    name: Symbol
+    params: Tuple[Symbol, ...]
+    body: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class Program:
+    """A whole program: top-level definitions plus a goal function name.
+
+    ``defs`` preserves source order.  ``by_name`` gives keyed access; it is
+    computed lazily and cached per instance.
+    """
+
+    defs: Tuple[Def, ...]
+    goal: Symbol
+    _index: dict = field(
+        default=None, compare=False, repr=False, hash=False
+    )
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "_index", {d.name: d for d in self.defs}
+        )
+        if self.goal not in self._index:
+            raise ValueError(f"goal function {self.goal} is not defined")
+
+    @property
+    def by_name(self) -> dict:
+        return self._index
+
+    def lookup(self, name: Symbol) -> Def:
+        return self._index[name]
+
+    def goal_def(self) -> Def:
+        return self._index[self.goal]
+
+
+def walk(expr: Expr) -> Iterator[Expr]:
+    """Yield ``expr`` and every descendant, preorder."""
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(reversed(node.children()))
+
+
+def count_nodes(expr: Expr) -> int:
+    """Number of AST nodes in ``expr``."""
+    return sum(1 for _ in walk(expr))
+
+
+def is_annotated(expr: Expr) -> bool:
+    """True if ``expr`` contains any ACS (dynamic) construct."""
+    return any(isinstance(node, ACS_NODE_TYPES) for node in walk(expr))

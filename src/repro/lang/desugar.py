@@ -1,0 +1,368 @@
+"""Desugaring the surface Scheme subset into core forms.
+
+The paper's specializer "desugars input programs to Core Scheme" before
+anything else.  This pass is a source-to-source macro expander over reader
+data: every derived form is rewritten into the core forms understood by
+:mod:`repro.lang.parser` — ``quote``, ``lambda``, single-binding ``let``,
+three-armed ``if``, ``set!``, applications, and primitive calls.
+
+Supported derived forms: multi-binding ``let``, named ``let``, ``let*``,
+``letrec``, ``begin``, ``cond`` (with ``else``), ``case``, ``and``, ``or``,
+``when``, ``unless``, ``quasiquote`` (with ``unquote`` and
+``unquote-splicing``), two-armed ``if``, and both ``define`` forms.
+
+Keyword symbols (``let``, ``cond``, ...) are reserved in operator position;
+the desugarer is not hygienic in the R5RS sense, but every temporary it
+introduces contains ``%``, which user programs cannot bind.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.lang.gensym import Gensym
+from repro.sexp.datum import Symbol, sym
+
+_QUOTE = sym("quote")
+_QUASIQUOTE = sym("quasiquote")
+_UNQUOTE = sym("unquote")
+_UNQUOTE_SPLICING = sym("unquote-splicing")
+_LAMBDA = sym("lambda")
+_LET = sym("let")
+_LETSTAR = sym("let*")
+_LETREC = sym("letrec")
+_IF = sym("if")
+_COND = sym("cond")
+_CASE = sym("case")
+_ELSE = sym("else")
+_AND = sym("and")
+_OR = sym("or")
+_WHEN = sym("when")
+_UNLESS = sym("unless")
+_BEGIN = sym("begin")
+_DEFINE = sym("define")
+_SETBANG = sym("set!")
+_VOID = sym("void")
+_CONS = sym("cons")
+_APPEND = sym("append")
+_LIST = sym("list")
+
+
+class DesugarError(ValueError):
+    """Raised when a derived form is malformed."""
+
+
+_gensym = Gensym("t")
+
+
+def desugar(datum: Any) -> Any:
+    """Expand every derived form in ``datum``, recursively."""
+    if not isinstance(datum, list) or not datum:
+        return datum
+    head = datum[0]
+    if isinstance(head, Symbol):
+        expander = _EXPANDERS.get(head)
+        if expander is not None:
+            return expander(datum)
+    return [desugar(item) for item in datum]
+
+
+def desugar_program(data: list) -> list:
+    """Desugar a list of top-level forms into core ``define`` forms."""
+    return [_desugar_define(d) for d in data]
+
+
+# -- helpers -----------------------------------------------------------------
+
+
+def _body_to_expr(body: list, form: str) -> Any:
+    """Convert a define/lambda/let body (1+ expressions) to one expression."""
+    if not body:
+        raise DesugarError(f"{form}: empty body")
+    if len(body) == 1:
+        return body[0]
+    return [_BEGIN, *body]
+
+
+def _expect(cond: bool, message: str) -> None:
+    if not cond:
+        raise DesugarError(message)
+
+
+# -- define -------------------------------------------------------------------
+
+
+def _desugar_define(datum: Any) -> Any:
+    _expect(
+        isinstance(datum, list) and len(datum) >= 2 and datum[0] is _DEFINE,
+        "top level: (define ...) expected",
+    )
+    header = datum[1]
+    if isinstance(header, Symbol):
+        # (define name expr) -- only for (define name (lambda ...)).
+        _expect(len(datum) == 3, "define: (define name expr) expected")
+        value = datum[2]
+        _expect(
+            isinstance(value, list) and value and value[0] is _LAMBDA,
+            "define: only procedure definitions are supported at top level",
+        )
+        expanded = desugar(value)
+        return [_DEFINE, [header, *expanded[1]], expanded[2]]
+    _expect(
+        isinstance(header, list) and header and isinstance(header[0], Symbol),
+        "define: (define (name params...) body...) expected",
+    )
+    body = desugar(_body_to_expr(datum[2:], "define"))
+    return [_DEFINE, header, body]
+
+
+# -- expanders ------------------------------------------------------------------
+
+
+def _expand_quote(datum: list) -> Any:
+    _expect(len(datum) == 2, "quote: one subform expected")
+    return datum
+
+
+def _expand_lambda(datum: list) -> Any:
+    _expect(len(datum) >= 3, "lambda: (lambda (params...) body...) expected")
+    return [_LAMBDA, datum[1], desugar(_body_to_expr(datum[2:], "lambda"))]
+
+
+def _expand_if(datum: list) -> Any:
+    if len(datum) == 3:
+        return [_IF, desugar(datum[1]), desugar(datum[2]), [_VOID]]
+    _expect(len(datum) == 4, "if: two or three subforms expected")
+    return [_IF, desugar(datum[1]), desugar(datum[2]), desugar(datum[3])]
+
+
+def _expand_begin(datum: list) -> Any:
+    body = datum[1:]
+    if not body:
+        return [_VOID]
+    if len(body) == 1:
+        return desugar(body[0])
+    ignored = _gensym.fresh("seq")
+    return [
+        _LET,
+        [ignored, desugar(body[0])],
+        desugar([_BEGIN, *body[1:]]),
+    ]
+
+
+def _expand_let(datum: list) -> Any:
+    _expect(len(datum) >= 3, "let: bindings and body expected")
+    if isinstance(datum[1], Symbol):
+        return _expand_named_let(datum)
+    if (
+        isinstance(datum[1], list)
+        and len(datum[1]) == 2
+        and isinstance(datum[1][0], Symbol)
+        and len(datum) == 3
+    ):
+        # Already in core shape: (let (x rhs) body).
+        return [_LET, [datum[1][0], desugar(datum[1][1])], desugar(datum[2])]
+    bindings = datum[1]
+    _expect(
+        isinstance(bindings, list)
+        and all(
+            isinstance(b, list) and len(b) == 2 and isinstance(b[0], Symbol)
+            for b in bindings
+        ),
+        "let: bindings must be ((name expr) ...)",
+    )
+    body = _body_to_expr(datum[2:], "let")
+    if not bindings:
+        return desugar(body)
+    if len(bindings) == 1:
+        name, rhs = bindings[0]
+        return [_LET, [name, desugar(rhs)], desugar(body)]
+    # Parallel multi-binding let becomes an application of a lambda.
+    names = [b[0] for b in bindings]
+    rhss = [desugar(b[1]) for b in bindings]
+    return [[_LAMBDA, names, desugar(body)], *rhss]
+
+
+def _expand_named_let(datum: list) -> Any:
+    name = datum[1]
+    _expect(len(datum) >= 4, "named let: bindings and body expected")
+    bindings = datum[2]
+    _expect(
+        isinstance(bindings, list)
+        and all(
+            isinstance(b, list) and len(b) == 2 and isinstance(b[0], Symbol)
+            for b in bindings
+        ),
+        "named let: bindings must be ((name expr) ...)",
+    )
+    body = _body_to_expr(datum[3:], "named let")
+    lam = [_LAMBDA, [b[0] for b in bindings], body]
+    call = [name, *[b[1] for b in bindings]]
+    return desugar([_LETREC, [[name, lam]], call])
+
+
+def _expand_letstar(datum: list) -> Any:
+    _expect(len(datum) >= 3, "let*: bindings and body expected")
+    bindings = datum[1]
+    _expect(isinstance(bindings, list), "let*: bindings must be a list")
+    body = _body_to_expr(datum[2:], "let*")
+    if not bindings:
+        return desugar(body)
+    first, rest = bindings[0], bindings[1:]
+    return desugar([_LET, [first], [_LETSTAR, rest, body]])
+
+
+def _expand_letrec(datum: list) -> Any:
+    _expect(len(datum) >= 3, "letrec: bindings and body expected")
+    bindings = datum[1]
+    _expect(
+        isinstance(bindings, list)
+        and all(
+            isinstance(b, list) and len(b) == 2 and isinstance(b[0], Symbol)
+            for b in bindings
+        ),
+        "letrec: bindings must be ((name expr) ...)",
+    )
+    body = _body_to_expr(datum[2:], "letrec")
+    if not bindings:
+        return desugar(body)
+    # Standard expansion: bind names to placeholders, assign, run the body.
+    # Assignment elimination later converts the set! forms to cells.
+    outer = [[b[0], [_VOID]] for b in bindings]
+    assignments = [[_SETBANG, b[0], b[1]] for b in bindings]
+    return desugar([_LET, outer, [_BEGIN, *assignments, body]])
+
+
+def _expand_cond(datum: list) -> Any:
+    clauses = datum[1:]
+    _expect(bool(clauses), "cond: at least one clause expected")
+    return desugar(_cond_clauses(clauses))
+
+
+def _cond_clauses(clauses: list) -> Any:
+    if not clauses:
+        return [_VOID]
+    clause = clauses[0]
+    _expect(isinstance(clause, list) and clause, "cond: malformed clause")
+    if clause[0] is _ELSE:
+        _expect(len(clauses) == 1, "cond: else clause must be last")
+        return _body_to_expr(clause[1:], "cond")
+    if len(clause) == 1:
+        tmp = _gensym.fresh("cond")
+        return [
+            _LET,
+            [[tmp, clause[0]]],
+            [_IF, tmp, tmp, _cond_clauses(clauses[1:])],
+        ]
+    return [
+        _IF,
+        clause[0],
+        _body_to_expr(clause[1:], "cond"),
+        _cond_clauses(clauses[1:]),
+    ]
+
+
+def _expand_case(datum: list) -> Any:
+    _expect(len(datum) >= 3, "case: key and clauses expected")
+    key = _gensym.fresh("case")
+    clauses = []
+    for clause in datum[2:]:
+        _expect(isinstance(clause, list) and len(clause) >= 2, "case: malformed clause")
+        if clause[0] is _ELSE:
+            clauses.append(clause)
+        else:
+            _expect(isinstance(clause[0], list), "case: datum list expected")
+            test = [sym("memv"), key, [_QUOTE, clause[0]]]
+            clauses.append([test, *clause[1:]])
+    return desugar([_LET, [[key, datum[1]]], [_COND, *clauses]])
+
+
+def _expand_and(datum: list) -> Any:
+    args = datum[1:]
+    if not args:
+        return True
+    if len(args) == 1:
+        return desugar(args[0])
+    return [_IF, desugar(args[0]), desugar([_AND, *args[1:]]), False]
+
+
+def _expand_or(datum: list) -> Any:
+    args = datum[1:]
+    if not args:
+        return False
+    if len(args) == 1:
+        return desugar(args[0])
+    tmp = _gensym.fresh("or")
+    return [
+        _LET,
+        [tmp, desugar(args[0])],
+        [_IF, tmp, tmp, desugar([_OR, *args[1:]])],
+    ]
+
+
+def _expand_when(datum: list) -> Any:
+    _expect(len(datum) >= 3, "when: test and body expected")
+    return desugar([_IF, datum[1], [_BEGIN, *datum[2:]], [_VOID]])
+
+
+def _expand_unless(datum: list) -> Any:
+    _expect(len(datum) >= 3, "unless: test and body expected")
+    return desugar([_IF, datum[1], [_VOID], [_BEGIN, *datum[2:]]])
+
+
+def _expand_quasiquote(datum: list) -> Any:
+    _expect(len(datum) == 2, "quasiquote: one subform expected")
+    return desugar(_qq(datum[1], 1))
+
+
+def _qq(template: Any, depth: int) -> Any:
+    """Expand one quasiquote template at nesting ``depth``."""
+    if not isinstance(template, list):
+        return [_QUOTE, template]
+    if template and template[0] is _UNQUOTE:
+        _expect(len(template) == 2, "unquote: one subform expected")
+        if depth == 1:
+            return template[1]
+        return [_LIST, [_QUOTE, _UNQUOTE], _qq(template[1], depth - 1)]
+    if template and template[0] is _QUASIQUOTE:
+        _expect(len(template) == 2, "quasiquote: one subform expected")
+        return [_LIST, [_QUOTE, _QUASIQUOTE], _qq(template[1], depth + 1)]
+    if not template:
+        return [_QUOTE, []]
+    first = template[0]
+    if (
+        isinstance(first, list)
+        and first
+        and first[0] is _UNQUOTE_SPLICING
+        and depth == 1
+    ):
+        _expect(len(first) == 2, "unquote-splicing: one subform expected")
+        return [_APPEND, first[1], _qq(template[1:], depth)]
+    return [_CONS, _qq(first, depth), _qq(template[1:], depth)]
+
+
+def _expand_setbang(datum: list) -> Any:
+    _expect(
+        len(datum) == 3 and isinstance(datum[1], Symbol),
+        "set!: (set! name expr) expected",
+    )
+    return [_SETBANG, datum[1], desugar(datum[2])]
+
+
+_EXPANDERS = {
+    _QUOTE: _expand_quote,
+    _QUASIQUOTE: _expand_quasiquote,
+    _LAMBDA: _expand_lambda,
+    _IF: _expand_if,
+    _BEGIN: _expand_begin,
+    _LET: _expand_let,
+    _LETSTAR: _expand_letstar,
+    _LETREC: _expand_letrec,
+    _COND: _expand_cond,
+    _CASE: _expand_case,
+    _AND: _expand_and,
+    _OR: _expand_or,
+    _WHEN: _expand_when,
+    _UNLESS: _expand_unless,
+    _SETBANG: _expand_setbang,
+}

@@ -1,0 +1,64 @@
+"""Free-variable computation for CS/ACS expressions."""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    App,
+    DApp,
+    DIf,
+    DLam,
+    DPrim,
+    Expr,
+    If,
+    Lam,
+    Let,
+    Lift,
+    MemoCall,
+    Prim,
+    SetBang,
+    Var,
+)
+from repro.sexp.datum import Symbol
+
+
+def free_variables(expr: Expr) -> frozenset[Symbol]:
+    """The set of variables occurring free in ``expr``.
+
+    Top-level definition names and primitive names are not variables here;
+    callers subtract the globals they know about.
+    """
+    out: set[Symbol] = set()
+    _collect(expr, frozenset(), out)
+    return frozenset(out)
+
+
+def _collect(expr: Expr, bound: frozenset[Symbol], out: set[Symbol]) -> None:
+    if isinstance(expr, Var):
+        if expr.name not in bound:
+            out.add(expr.name)
+    elif isinstance(expr, (Lam, DLam)):
+        _collect(expr.body, bound | set(expr.params), out)
+    elif isinstance(expr, Let):
+        _collect(expr.rhs, bound, out)
+        _collect(expr.body, bound | {expr.var}, out)
+    elif isinstance(expr, SetBang):
+        if expr.var not in bound:
+            out.add(expr.var)
+        _collect(expr.rhs, bound, out)
+    elif isinstance(expr, (If, DIf)):
+        _collect(expr.test, bound, out)
+        _collect(expr.then, bound, out)
+        _collect(expr.alt, bound, out)
+    elif isinstance(expr, (App, DApp)):
+        _collect(expr.fn, bound, out)
+        for arg in expr.args:
+            _collect(arg, bound, out)
+    elif isinstance(expr, (Prim, DPrim, MemoCall)):
+        for arg in expr.args:
+            _collect(arg, bound, out)
+    elif isinstance(expr, Lift):
+        _collect(expr.expr, bound, out)
+    else:
+        # Const and anything without variables.
+        for child in expr.children():
+            _collect(child, bound, out)

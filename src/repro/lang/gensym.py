@@ -1,0 +1,31 @@
+"""Fresh-name generation.
+
+The paper's specializer (Fig. 3) uses a "fresh variable" operation (the
+primed variables).  A :class:`Gensym` instance produces names that cannot
+clash with source names because they contain a ``%`` character, which the
+front end never accepts in user identifiers it binds.
+"""
+
+from __future__ import annotations
+
+from repro.sexp.datum import Symbol, sym
+
+
+class Gensym:
+    """A counter-based fresh-name supply."""
+
+    def __init__(self, prefix: str = "g"):
+        self._prefix = prefix
+        self._counter = 0
+
+    def fresh(self, hint: str | Symbol | None = None) -> Symbol:
+        """Return a fresh symbol, optionally based on ``hint``."""
+        base = self._prefix
+        if hint is not None:
+            base = hint.name if isinstance(hint, Symbol) else str(hint)
+            base = base.split("%")[0] or self._prefix
+        self._counter += 1
+        return sym(f"{base}%{self._counter}")
+
+    def reset(self) -> None:
+        self._counter = 0

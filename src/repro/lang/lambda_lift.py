@@ -1,0 +1,202 @@
+"""Lambda lifting (Johnsson [29], restricted to directly-called bindings).
+
+A ``let``-bound lambda all of whose uses are in operator position is lifted
+to a new top-level definition; the lambda's free variables become extra
+leading parameters and every call site passes them explicitly.  Lambdas
+that escape (are used as values) stay where they are — the VM compiles
+them to closures, and the specializer treats them as (static or dynamic)
+closures.
+
+The pass expects and preserves alpha-unique bound names; it runs the
+renamer itself.  It iterates until no more bindings are liftable (a lifted
+body can expose further candidates).
+"""
+
+from __future__ import annotations
+
+from repro.lang.alpha import alpha_rename
+from repro.lang.ast import (
+    App,
+    Const,
+    Def,
+    Expr,
+    If,
+    Lam,
+    Let,
+    Prim,
+    Program,
+    SetBang,
+    Var,
+    walk,
+)
+from repro.lang.freevars import free_variables
+from repro.lang.gensym import Gensym
+from repro.sexp.datum import Symbol, sym
+
+
+def lambda_lift(program: Program, gensym: Gensym | None = None) -> Program:
+    """Lift directly-called local lambdas to top level."""
+    gs = gensym or Gensym("ll")
+    program = alpha_rename(program, gs)
+    globals_ = {d.name for d in program.defs}
+
+    changed = True
+    while changed:
+        changed = False
+        new_defs: list[Def] = []
+        lifted: list[Def] = []
+        for d in program.defs:
+            body, extra = _lift_in_def(d, globals_, gs)
+            new_defs.append(Def(d.name, d.params, body))
+            lifted.extend(extra)
+        if lifted:
+            changed = True
+            globals_.update(l.name for l in lifted)
+            program = Program(tuple(new_defs) + tuple(lifted), program.goal)
+        else:
+            program = Program(tuple(new_defs), program.goal)
+    return program
+
+
+def _lift_in_def(
+    d: Def, globals_: set[Symbol], gensym: Gensym
+) -> tuple[Expr, list[Def]]:
+    lifted: list[Def] = []
+    body = _lift(d.body, globals_ | set(d.params), lifted, gensym, d.name)
+    return body, lifted
+
+
+def _only_called(name: Symbol, expr: Expr) -> bool:
+    """True if every free occurrence of ``name`` in ``expr`` is a call target."""
+    ok = True
+
+    def check(e: Expr, shadowed: bool) -> None:
+        nonlocal ok
+        if not ok or shadowed:
+            return
+        if isinstance(e, Var):
+            if e.name is name:
+                ok = False
+        elif isinstance(e, App):
+            # The operator position is allowed to be the name itself.
+            if not (isinstance(e.fn, Var) and e.fn.name is name):
+                check(e.fn, shadowed)
+            for a in e.args:
+                check(a, shadowed)
+        elif isinstance(e, Lam):
+            check(e.body, shadowed or name in e.params)
+        elif isinstance(e, Let):
+            check(e.rhs, shadowed)
+            check(e.body, shadowed or e.var is name)
+        else:
+            for c in e.children():
+                check(c, shadowed)
+
+    check(expr, False)
+    return ok
+
+
+def _replace_calls(expr: Expr, name: Symbol, extra: tuple[Symbol, ...]) -> Expr:
+    """Prepend ``extra`` arguments at every call to ``name``."""
+
+    def rewrite(e: Expr) -> Expr:
+        if isinstance(e, App) and isinstance(e.fn, Var) and e.fn.name is name:
+            args = tuple(rewrite(a) for a in e.args)
+            return App(e.fn, tuple(Var(v) for v in extra) + args)
+        if isinstance(e, (Const, Var)):
+            return e
+        if isinstance(e, Lam):
+            return Lam(e.params, rewrite(e.body))
+        if isinstance(e, Let):
+            return Let(e.var, rewrite(e.rhs), rewrite(e.body))
+        if isinstance(e, If):
+            return If(rewrite(e.test), rewrite(e.then), rewrite(e.alt))
+        if isinstance(e, App):
+            return App(rewrite(e.fn), tuple(rewrite(a) for a in e.args))
+        if isinstance(e, Prim):
+            return Prim(e.op, tuple(rewrite(a) for a in e.args))
+        if isinstance(e, SetBang):
+            return SetBang(e.var, rewrite(e.rhs))
+        raise TypeError(f"lambda lifting does not handle {type(e).__name__}")
+
+    return rewrite(expr)
+
+
+def _lift(
+    expr: Expr,
+    in_scope: set[Symbol],
+    lifted: list[Def],
+    gensym: Gensym,
+    host: Symbol,
+) -> Expr:
+    if isinstance(expr, (Const, Var)):
+        return expr
+    if isinstance(expr, Lam):
+        return Lam(
+            expr.params,
+            _lift(expr.body, in_scope | set(expr.params), lifted, gensym, host),
+        )
+    if isinstance(expr, Let):
+        rhs = _lift(expr.rhs, in_scope, lifted, gensym, host)
+        body = _lift(expr.body, in_scope | {expr.var}, lifted, gensym, host)
+        if isinstance(rhs, Lam) and _only_called(expr.var, body):
+            fvs = sorted(
+                free_variables(rhs) - _globals_of(lifted, host),
+                key=lambda s: s.name,
+            )
+            fvs = [v for v in fvs if v in in_scope]
+            top_name = sym(f"{host.name}%{expr.var.name}")
+            new_body = _replace_calls(body, expr.var, tuple(fvs))
+            # Calls inside the lifted lambda itself (it cannot be
+            # self-recursive — let scoping — but may call siblings).
+            lifted.append(Def(top_name, tuple(fvs) + rhs.params, rhs.body))
+            return _rename_fn(new_body, expr.var, top_name)
+        return Let(expr.var, rhs, body)
+    if isinstance(expr, If):
+        return If(
+            _lift(expr.test, in_scope, lifted, gensym, host),
+            _lift(expr.then, in_scope, lifted, gensym, host),
+            _lift(expr.alt, in_scope, lifted, gensym, host),
+        )
+    if isinstance(expr, App):
+        return App(
+            _lift(expr.fn, in_scope, lifted, gensym, host),
+            tuple(_lift(a, in_scope, lifted, gensym, host) for a in expr.args),
+        )
+    if isinstance(expr, Prim):
+        return Prim(
+            expr.op,
+            tuple(_lift(a, in_scope, lifted, gensym, host) for a in expr.args),
+        )
+    if isinstance(expr, SetBang):
+        return SetBang(expr.var, _lift(expr.rhs, in_scope, lifted, gensym, host))
+    raise TypeError(f"lambda lifting does not handle {type(expr).__name__}")
+
+
+def _globals_of(lifted: list[Def], host: Symbol) -> frozenset[Symbol]:
+    return frozenset(l.name for l in lifted) | {host}
+
+
+def _rename_fn(expr: Expr, old: Symbol, new: Symbol) -> Expr:
+    """Rename operator occurrences of ``old`` to the top-level name ``new``."""
+
+    def rewrite(e: Expr) -> Expr:
+        if isinstance(e, Var):
+            return Var(new) if e.name is old else e
+        if isinstance(e, Const):
+            return e
+        if isinstance(e, Lam):
+            return Lam(e.params, rewrite(e.body))
+        if isinstance(e, Let):
+            return Let(e.var, rewrite(e.rhs), rewrite(e.body))
+        if isinstance(e, If):
+            return If(rewrite(e.test), rewrite(e.then), rewrite(e.alt))
+        if isinstance(e, App):
+            return App(rewrite(e.fn), tuple(rewrite(a) for a in e.args))
+        if isinstance(e, Prim):
+            return Prim(e.op, tuple(rewrite(a) for a in e.args))
+        if isinstance(e, SetBang):
+            return SetBang(e.var, rewrite(e.rhs))
+        raise TypeError(f"lambda lifting does not handle {type(e).__name__}")
+
+    return rewrite(expr)

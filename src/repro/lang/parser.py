@@ -1,0 +1,173 @@
+"""Parsing core s-expressions into the CS abstract syntax.
+
+The parser accepts *core* forms only (``quote``, ``lambda``, ``let`` with a
+single binding, ``if`` with three arms, applications, primitives).  Surface
+sugar must first be removed by :mod:`repro.lang.desugar`; the convenience
+entry points :func:`parse_expr` and :func:`parse_program` run the desugarer
+automatically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.lang.ast import (
+    App,
+    Const,
+    Def,
+    Expr,
+    If,
+    Lam,
+    Let,
+    Prim,
+    Program,
+    SetBang,
+    Var,
+)
+from repro.lang.desugar import desugar, desugar_program
+from repro.lang.prims import PRIMITIVES
+from repro.sexp.datum import Symbol, sym
+from repro.sexp.reader import read, read_all
+
+_QUOTE = sym("quote")
+_LAMBDA = sym("lambda")
+_LET = sym("let")
+_IF = sym("if")
+_DEFINE = sym("define")
+_SETBANG = sym("set!")
+
+
+class ParseError(ValueError):
+    """Raised when a core form is malformed."""
+
+
+def _freeze(datum: Any) -> Any:
+    """Convert reader lists to tuples so constants are hashable."""
+    if isinstance(datum, list):
+        return tuple(_freeze(item) for item in datum)
+    return datum
+
+
+def _check_params(params: Any, form: str) -> tuple[Symbol, ...]:
+    if not isinstance(params, list):
+        raise ParseError(f"{form}: parameter list expected")
+    names = []
+    for p in params:
+        if not isinstance(p, Symbol):
+            raise ParseError(f"{form}: parameter must be a symbol, got {p!r}")
+        names.append(p)
+    if len(set(n.name for n in names)) != len(names):
+        raise ParseError(f"{form}: duplicate parameter names")
+    return tuple(names)
+
+
+def parse_core(datum: Any, bound: frozenset[Symbol] = frozenset()) -> Expr:
+    """Parse one core s-expression into a CS expression.
+
+    ``bound`` tracks lexically bound names so that a locally bound name
+    shadowing a primitive parses as an application, not a primitive call.
+    """
+    if isinstance(datum, Symbol):
+        return Var(datum)
+    if isinstance(datum, (bool, int, float, str)) or not isinstance(datum, list):
+        return Const(_freeze(datum))
+    if not datum:
+        raise ParseError("empty application")
+    head = datum[0]
+    if isinstance(head, Symbol):
+        if head is _QUOTE:
+            if len(datum) != 2:
+                raise ParseError("quote: exactly one subform expected")
+            return Const(_freeze(datum[1]))
+        if head is _LAMBDA and head not in bound:
+            if len(datum) != 3:
+                raise ParseError("lambda: (lambda (params...) body) expected")
+            params = _check_params(datum[1], "lambda")
+            body = parse_core(datum[2], bound | set(params))
+            return Lam(params, body)
+        if head is _LET and head not in bound:
+            # Core let: (let (x rhs) body)
+            if (
+                len(datum) != 3
+                or not isinstance(datum[1], list)
+                or len(datum[1]) != 2
+                or not isinstance(datum[1][0], Symbol)
+            ):
+                raise ParseError("let: core form is (let (x rhs) body)")
+            var = datum[1][0]
+            rhs = parse_core(datum[1][1], bound)
+            body = parse_core(datum[2], bound | {var})
+            return Let(var, rhs, body)
+        if head is _IF and head not in bound:
+            if len(datum) != 4:
+                raise ParseError("if: (if test then alt) expected")
+            return If(
+                parse_core(datum[1], bound),
+                parse_core(datum[2], bound),
+                parse_core(datum[3], bound),
+            )
+        if head is _SETBANG and head not in bound:
+            if len(datum) != 3 or not isinstance(datum[1], Symbol):
+                raise ParseError("set!: (set! name expr) expected")
+            return SetBang(datum[1], parse_core(datum[2], bound))
+        if head in PRIMITIVES and head not in bound:
+            args = tuple(parse_core(a, bound) for a in datum[1:])
+            PRIMITIVES[head].check_arity(len(args))
+            return Prim(head, args)
+    fn = parse_core(head, bound)
+    args = tuple(parse_core(a, bound) for a in datum[1:])
+    return App(fn, args)
+
+
+def parse_expr(source: str | Any) -> Expr:
+    """Desugar and parse a single expression (from text or reader data)."""
+    datum = read(source) if isinstance(source, str) else source
+    return parse_core(desugar(datum))
+
+
+def parse_def(datum: Any, program_names: frozenset[Symbol] = frozenset()) -> Def:
+    """Parse a core ``(define (name params...) body)`` form.
+
+    ``program_names`` holds every top-level name of the enclosing program:
+    those names shadow primitives and special forms inside every body, so
+    a program may define e.g. its own ``odd?``.
+    """
+    if (
+        not isinstance(datum, list)
+        or len(datum) != 3
+        or datum[0] is not _DEFINE
+        or not isinstance(datum[1], list)
+        or not datum[1]
+        or not isinstance(datum[1][0], Symbol)
+    ):
+        raise ParseError("define: (define (name params...) body) expected")
+    name = datum[1][0]
+    params = _check_params(datum[1][1:], "define")
+    body = parse_core(datum[2], program_names | frozenset(params))
+    return Def(name, params, body)
+
+
+def parse_program(source: str | Iterable[Any], goal: str | Symbol | None = None) -> Program:
+    """Desugar and parse a whole program.
+
+    ``source`` is either program text or a list of top-level data.  The goal
+    function defaults to the name ``main`` if defined, otherwise the last
+    definition.
+    """
+    data = read_all(source) if isinstance(source, str) else list(source)
+    core = desugar_program(data)
+    program_names = frozenset(
+        d[1][0]
+        for d in core
+        if isinstance(d, list) and len(d) == 3 and isinstance(d[1], list)
+        and d[1] and isinstance(d[1][0], Symbol)
+    )
+    defs = tuple(parse_def(d, program_names) for d in core)
+    if not defs:
+        raise ParseError("program has no definitions")
+    if goal is None:
+        names = {d.name for d in defs}
+        goal_sym = sym("main") if sym("main") in names else defs[-1].name
+    else:
+        goal_sym = sym(goal) if isinstance(goal, str) else goal
+    return Program(defs, goal_sym)

@@ -1,0 +1,122 @@
+"""A small standard library written in the object language.
+
+Higher-order list operations are not primitives in this system (primitives
+cannot call back into Scheme code on the VM), so they are provided as a
+*prelude* of ordinary definitions that can be spliced into any program.
+Everything here goes through the normal pipeline — interpreter, compilers,
+and the partial evaluator all see plain Core Scheme.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import Program
+from repro.lang.parser import parse_program
+from repro.sexp.reader import read_all
+
+PRELUDE_SOURCE = """
+(define (map1 f xs)
+  (if (null? xs)
+      '()
+      (cons (f (car xs)) (map1 f (cdr xs)))))
+
+(define (filter1 keep? xs)
+  (cond ((null? xs) '())
+        ((keep? (car xs)) (cons (car xs) (filter1 keep? (cdr xs))))
+        (else (filter1 keep? (cdr xs)))))
+
+(define (foldr f init xs)
+  (if (null? xs)
+      init
+      (f (car xs) (foldr f init (cdr xs)))))
+
+(define (foldl f acc xs)
+  (if (null? xs)
+      acc
+      (foldl f (f acc (car xs)) (cdr xs))))
+
+(define (for-all? ok? xs)
+  (if (null? xs)
+      #t
+      (and (ok? (car xs)) (for-all? ok? (cdr xs)))))
+
+(define (exists? ok? xs)
+  (if (null? xs)
+      #f
+      (or (ok? (car xs)) (exists? ok? (cdr xs)))))
+
+(define (iota n)
+  (let loop ((i 0) (acc '()))
+    (if (= i n) (reverse acc) (loop (+ i 1) (cons i acc)))))
+
+(define (take xs n)
+  (if (or (zero? n) (null? xs))
+      '()
+      (cons (car xs) (take (cdr xs) (- n 1)))))
+
+(define (drop xs n)
+  (if (or (zero? n) (null? xs))
+      xs
+      (drop (cdr xs) (- n 1))))
+
+(define (zip2 xs ys)
+  (if (or (null? xs) (null? ys))
+      '()
+      (cons (list (car xs) (car ys)) (zip2 (cdr xs) (cdr ys)))))
+
+(define (assoc-update key value alist)
+  (cond ((null? alist) (list (list key value)))
+        ((equal? (caar alist) key) (cons (list key value) (cdr alist)))
+        (else (cons (car alist) (assoc-update key value (cdr alist))))))
+
+(define (insert-sorted x xs less?)
+  (cond ((null? xs) (list x))
+        ((less? x (car xs)) (cons x xs))
+        (else (cons (car xs) (insert-sorted x (cdr xs) less?)))))
+
+(define (sort-by xs less?)
+  (if (null? xs)
+      '()
+      (insert-sorted (car xs) (sort-by (cdr xs) less?) less?)))
+"""
+
+_PRELUDE_DATA = None
+
+
+def prelude_definitions() -> list:
+    """The prelude's top-level forms (reader data), cached."""
+    global _PRELUDE_DATA
+    if _PRELUDE_DATA is None:
+        _PRELUDE_DATA = read_all(PRELUDE_SOURCE)
+    return list(_PRELUDE_DATA)
+
+
+def with_prelude(source: str, goal: str | None = None) -> Program:
+    """Parse ``source`` with the prelude definitions prepended.
+
+    A program definition with the same name as a prelude entry replaces
+    it (the shadowed prelude definition is dropped entirely, so analyses
+    never see two definitions of one name).
+    """
+    program_data = read_all(source)
+    program_names = {
+        d[1][0].name
+        for d in program_data
+        if isinstance(d, list)
+        and len(d) >= 2
+        and isinstance(d[1], list)
+        and d[1]
+    }
+    kept = [
+        d
+        for d in prelude_definitions()
+        if not (
+            isinstance(d[1], list) and d[1] and d[1][0].name in program_names
+        )
+    ]
+    program = parse_program(kept + program_data, goal=goal)
+    if goal is None and program.goal.name in {"sort-by", "insert-sorted"}:
+        raise ValueError(
+            "with_prelude: give an explicit goal (the default picked a"
+            " prelude definition)"
+        )
+    return program

@@ -1,0 +1,604 @@
+"""The primitive operations of Core Scheme.
+
+Each primitive has a run-time implementation shared by the direct
+interpreter and the VM, an arity, and a purity flag.  Purity matters to
+partial evaluation: only pure primitives may be executed at specialization
+time; impure ones (``display``, ``error``, ...) are always residualized.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.runtime.errors import PrimitiveError, SchemeError
+from repro.runtime.values import (
+    NIL,
+    Pair,
+    UNSPECIFIED,
+    is_list,
+    is_truthy,
+    scheme_eqv,
+    scheme_equal,
+    scheme_list,
+)
+from repro.sexp.datum import Char, Symbol, sym
+from repro.sexp.writer import write
+
+# Types registered as procedures by the interpreter and the VM.
+_PROCEDURE_TYPES: list[type] = []
+
+
+def register_procedure_type(tp: type) -> None:
+    """Declare ``tp`` instances as answering ``#t`` to ``procedure?``."""
+    if tp not in _PROCEDURE_TYPES:
+        _PROCEDURE_TYPES.append(tp)
+
+
+def is_procedure_value(value: Any) -> bool:
+    return isinstance(value, tuple(_PROCEDURE_TYPES)) if _PROCEDURE_TYPES else False
+
+
+@dataclass(frozen=True)
+class PrimSpec:
+    """Description of one primitive operation."""
+
+    name: Symbol
+    fn: Callable[..., Any]
+    min_arity: int
+    max_arity: int | None  # None = variadic
+    pure: bool = True
+
+    def check_arity(self, n: int) -> None:
+        if n < self.min_arity or (self.max_arity is not None and n > self.max_arity):
+            raise PrimitiveError(self.name.name, f"wrong argument count {n}")
+
+    def apply(self, args: list) -> Any:
+        self.check_arity(len(args))
+        return self.fn(*args)
+
+
+PRIMITIVES: dict[Symbol, PrimSpec] = {}
+
+
+def _define(name: str, min_arity: int, max_arity: int | None, pure: bool = True):
+    def wrap(fn: Callable[..., Any]) -> Callable[..., Any]:
+        symbol = sym(name)
+        PRIMITIVES[symbol] = PrimSpec(symbol, fn, min_arity, max_arity, pure)
+        return fn
+
+    return wrap
+
+
+def is_primitive(name: Symbol) -> bool:
+    return name in PRIMITIVES
+
+
+def _number(op: str, x: Any) -> Any:
+    if isinstance(x, bool) or not isinstance(x, (int, float)):
+        raise PrimitiveError(op, f"expected a number, got {write_value(x)}")
+    return x
+
+
+def _integer(op: str, x: Any) -> int:
+    if isinstance(x, bool) or not isinstance(x, int):
+        raise PrimitiveError(op, f"expected an integer, got {write_value(x)}")
+    return x
+
+
+def _pair(op: str, x: Any) -> Pair:
+    if not isinstance(x, Pair):
+        raise PrimitiveError(op, f"expected a pair, got {write_value(x)}")
+    return x
+
+
+def write_value(value: Any) -> str:
+    """Render a run-time value in external (write) notation."""
+    if value is NIL:
+        return "()"
+    if value is UNSPECIFIED:
+        return "#<unspecified>"
+    if isinstance(value, Pair):
+        parts = []
+        node: Any = value
+        while isinstance(node, Pair):
+            parts.append(write_value(node.car))
+            node = node.cdr
+        if node is NIL:
+            return "(" + " ".join(parts) + ")"
+        return "(" + " ".join(parts) + " . " + write_value(node) + ")"
+    if is_procedure_value(value):
+        return "#<procedure>"
+    try:
+        return write(value)
+    except TypeError:
+        return repr(value)
+
+
+# -- arithmetic -------------------------------------------------------------
+
+
+@_define("+", 0, None)
+def _add(*args: Any) -> Any:
+    total: Any = 0
+    for a in args:
+        total = total + _number("+", a)
+    return total
+
+
+@_define("-", 1, None)
+def _sub(first: Any, *rest: Any) -> Any:
+    value = _number("-", first)
+    if not rest:
+        return -value
+    for a in rest:
+        value = value - _number("-", a)
+    return value
+
+
+@_define("*", 0, None)
+def _mul(*args: Any) -> Any:
+    total: Any = 1
+    for a in args:
+        total = total * _number("*", a)
+    return total
+
+
+@_define("/", 1, None)
+def _div(first: Any, *rest: Any) -> Any:
+    value = _number("/", first)
+    operands = rest if rest else (value,)
+    if not rest:
+        value = 1
+    for a in operands:
+        d = _number("/", a)
+        if d == 0:
+            raise PrimitiveError("/", "division by zero")
+        if isinstance(value, int) and isinstance(d, int) and value % d == 0:
+            value //= d
+        else:
+            value /= d
+    return value
+
+
+@_define("quotient", 2, 2)
+def _quotient(a: Any, b: Any) -> int:
+    x, y = _integer("quotient", a), _integer("quotient", b)
+    if y == 0:
+        raise PrimitiveError("quotient", "division by zero")
+    q = abs(x) // abs(y)
+    return q if (x >= 0) == (y >= 0) else -q
+
+
+@_define("remainder", 2, 2)
+def _remainder(a: Any, b: Any) -> int:
+    x, y = _integer("remainder", a), _integer("remainder", b)
+    if y == 0:
+        raise PrimitiveError("remainder", "division by zero")
+    return x - _quotient(x, y) * y
+
+
+@_define("modulo", 2, 2)
+def _modulo(a: Any, b: Any) -> int:
+    x, y = _integer("modulo", a), _integer("modulo", b)
+    if y == 0:
+        raise PrimitiveError("modulo", "division by zero")
+    return x % y
+
+
+@_define("abs", 1, 1)
+def _abs(a: Any) -> Any:
+    return abs(_number("abs", a))
+
+
+@_define("min", 1, None)
+def _min(*args: Any) -> Any:
+    return min(_number("min", a) for a in args)
+
+
+@_define("max", 1, None)
+def _max(*args: Any) -> Any:
+    return max(_number("max", a) for a in args)
+
+
+@_define("expt", 2, 2)
+def _expt(a: Any, b: Any) -> Any:
+    return _number("expt", a) ** _number("expt", b)
+
+
+@_define("sqrt", 1, 1)
+def _sqrt(a: Any) -> Any:
+    x = _number("sqrt", a)
+    if isinstance(x, int) and x >= 0:
+        r = math.isqrt(x)
+        if r * r == x:
+            return r
+    if x < 0:
+        raise PrimitiveError("sqrt", "negative argument")
+    return math.sqrt(x)
+
+
+def _comparison(name: str, cmp: Callable[[Any, Any], bool]):
+    @_define(name, 2, None)
+    def compare(*args: Any) -> bool:
+        for a, b in zip(args, args[1:]):
+            if not cmp(_number(name, a), _number(name, b)):
+                return False
+        return True
+
+    return compare
+
+
+_comparison("=", lambda a, b: a == b)
+_comparison("<", lambda a, b: a < b)
+_comparison(">", lambda a, b: a > b)
+_comparison("<=", lambda a, b: a <= b)
+_comparison(">=", lambda a, b: a >= b)
+
+
+@_define("zero?", 1, 1)
+def _zero_p(a: Any) -> bool:
+    return _number("zero?", a) == 0
+
+
+@_define("positive?", 1, 1)
+def _positive_p(a: Any) -> bool:
+    return _number("positive?", a) > 0
+
+
+@_define("negative?", 1, 1)
+def _negative_p(a: Any) -> bool:
+    return _number("negative?", a) < 0
+
+
+@_define("even?", 1, 1)
+def _even_p(a: Any) -> bool:
+    return _integer("even?", a) % 2 == 0
+
+
+@_define("odd?", 1, 1)
+def _odd_p(a: Any) -> bool:
+    return _integer("odd?", a) % 2 == 1
+
+
+@_define("add1", 1, 1)
+def _add1(a: Any) -> Any:
+    return _number("add1", a) + 1
+
+
+@_define("sub1", 1, 1)
+def _sub1(a: Any) -> Any:
+    return _number("sub1", a) - 1
+
+
+# -- type predicates ---------------------------------------------------------
+
+
+@_define("number?", 1, 1)
+def _number_p(a: Any) -> bool:
+    return not isinstance(a, bool) and isinstance(a, (int, float))
+
+
+@_define("integer?", 1, 1)
+def _integer_p(a: Any) -> bool:
+    return not isinstance(a, bool) and isinstance(a, int)
+
+
+@_define("boolean?", 1, 1)
+def _boolean_p(a: Any) -> bool:
+    return isinstance(a, bool)
+
+
+@_define("symbol?", 1, 1)
+def _symbol_p(a: Any) -> bool:
+    return isinstance(a, Symbol)
+
+
+@_define("string?", 1, 1)
+def _string_p(a: Any) -> bool:
+    return isinstance(a, str)
+
+
+@_define("char?", 1, 1)
+def _char_p(a: Any) -> bool:
+    return isinstance(a, Char)
+
+
+@_define("pair?", 1, 1)
+def _pair_p(a: Any) -> bool:
+    return isinstance(a, Pair)
+
+
+@_define("null?", 1, 1)
+def _null_p(a: Any) -> bool:
+    return a is NIL
+
+
+@_define("list?", 1, 1)
+def _list_p(a: Any) -> bool:
+    return a is NIL or (isinstance(a, Pair) and is_list(a))
+
+
+@_define("procedure?", 1, 1)
+def _procedure_p(a: Any) -> bool:
+    return is_procedure_value(a)
+
+
+@_define("atom?", 1, 1)
+def _atom_p(a: Any) -> bool:
+    return not isinstance(a, Pair)
+
+
+@_define("not", 1, 1)
+def _not(a: Any) -> bool:
+    return not is_truthy(a)
+
+
+@_define("eq?", 2, 2)
+def _eq_p(a: Any, b: Any) -> bool:
+    return scheme_eqv(a, b)
+
+
+@_define("eqv?", 2, 2)
+def _eqv_p(a: Any, b: Any) -> bool:
+    return scheme_eqv(a, b)
+
+
+@_define("equal?", 2, 2)
+def _equal_p(a: Any, b: Any) -> bool:
+    return scheme_equal(a, b)
+
+
+# -- pairs and lists ----------------------------------------------------------
+
+
+@_define("cons", 2, 2)
+def _cons(a: Any, b: Any) -> Pair:
+    return Pair(a, b)
+
+
+@_define("car", 1, 1)
+def _car(a: Any) -> Any:
+    return _pair("car", a).car
+
+
+@_define("cdr", 1, 1)
+def _cdr(a: Any) -> Any:
+    return _pair("cdr", a).cdr
+
+
+def _accessor(path: str):
+    name = "c" + path + "r"
+
+    @_define(name, 1, 1)
+    def access(a: Any) -> Any:
+        value = a
+        for step in reversed(path):
+            value = _pair(name, value)
+            value = value.car if step == "a" else value.cdr
+        return value
+
+    return access
+
+
+for _path in ("aa", "ad", "da", "dd", "aaa", "aad", "ada", "add",
+              "daa", "dad", "dda", "ddd", "addd"):
+    _accessor(_path)
+
+
+@_define("list", 0, None)
+def _list(*args: Any) -> Any:
+    return scheme_list(*args)
+
+
+@_define("length", 1, 1)
+def _length(a: Any) -> int:
+    n = 0
+    node = a
+    while isinstance(node, Pair):
+        n += 1
+        node = node.cdr
+    if node is not NIL:
+        raise PrimitiveError("length", "improper list")
+    return n
+
+
+@_define("append", 0, None)
+def _append(*args: Any) -> Any:
+    if not args:
+        return NIL
+    result = args[-1]
+    for lst in reversed(args[:-1]):
+        items = []
+        node = lst
+        while isinstance(node, Pair):
+            items.append(node.car)
+            node = node.cdr
+        if node is not NIL:
+            raise PrimitiveError("append", "improper list")
+        for item in reversed(items):
+            result = Pair(item, result)
+    return result
+
+
+@_define("reverse", 1, 1)
+def _reverse(a: Any) -> Any:
+    result: Any = NIL
+    node = a
+    while isinstance(node, Pair):
+        result = Pair(node.car, result)
+        node = node.cdr
+    if node is not NIL:
+        raise PrimitiveError("reverse", "improper list")
+    return result
+
+
+@_define("list-ref", 2, 2)
+def _list_ref(a: Any, k: Any) -> Any:
+    n = _integer("list-ref", k)
+    node = a
+    while n > 0:
+        node = _pair("list-ref", node).cdr
+        n -= 1
+    return _pair("list-ref", node).car
+
+
+@_define("list-tail", 2, 2)
+def _list_tail(a: Any, k: Any) -> Any:
+    n = _integer("list-tail", k)
+    node = a
+    while n > 0:
+        node = _pair("list-tail", node).cdr
+        n -= 1
+    return node
+
+
+def _searcher(name: str, eq: Callable[[Any, Any], bool], assoc: bool):
+    @_define(name, 2, 2)
+    def search(key: Any, lst: Any) -> Any:
+        node = lst
+        while isinstance(node, Pair):
+            entry = node.car
+            probe = _pair(name, entry).car if assoc else entry
+            if eq(key, probe):
+                return entry if assoc else node
+            node = node.cdr
+        return False
+
+    return search
+
+
+_searcher("memq", scheme_eqv, assoc=False)
+_searcher("memv", scheme_eqv, assoc=False)
+_searcher("member", scheme_equal, assoc=False)
+_searcher("assq", scheme_eqv, assoc=True)
+_searcher("assv", scheme_eqv, assoc=True)
+_searcher("assoc", scheme_equal, assoc=True)
+
+
+# -- strings and symbols -------------------------------------------------------
+
+
+@_define("symbol->string", 1, 1)
+def _symbol_to_string(a: Any) -> str:
+    if not isinstance(a, Symbol):
+        raise PrimitiveError("symbol->string", "expected a symbol")
+    return a.name
+
+
+@_define("string->symbol", 1, 1)
+def _string_to_symbol(a: Any) -> Symbol:
+    if not isinstance(a, str):
+        raise PrimitiveError("string->symbol", "expected a string")
+    return sym(a)
+
+
+@_define("string-append", 0, None)
+def _string_append(*args: Any) -> str:
+    for a in args:
+        if not isinstance(a, str):
+            raise PrimitiveError("string-append", "expected strings")
+    return "".join(args)
+
+
+@_define("string-length", 1, 1)
+def _string_length(a: Any) -> int:
+    if not isinstance(a, str):
+        raise PrimitiveError("string-length", "expected a string")
+    return len(a)
+
+
+@_define("string=?", 2, 2)
+def _string_eq(a: Any, b: Any) -> bool:
+    if not (isinstance(a, str) and isinstance(b, str)):
+        raise PrimitiveError("string=?", "expected strings")
+    return a == b
+
+
+@_define("number->string", 1, 1)
+def _number_to_string(a: Any) -> str:
+    return write(_number("number->string", a))
+
+
+@_define("string->number", 1, 1)
+def _string_to_number(a: Any) -> Any:
+    if not isinstance(a, str):
+        raise PrimitiveError("string->number", "expected a string")
+    try:
+        return int(a)
+    except ValueError:
+        try:
+            return float(a)
+        except ValueError:
+            return False
+
+
+# -- effects -------------------------------------------------------------------
+
+
+@_define("display", 1, 1, pure=False)
+def _display(a: Any) -> Any:
+    text = a if isinstance(a, str) else write_value(a)
+    print(text, end="")
+    return UNSPECIFIED
+
+
+@_define("newline", 0, 0, pure=False)
+def _newline() -> Any:
+    print()
+    return UNSPECIFIED
+
+
+@_define("write", 1, 1, pure=False)
+def _write_prim(a: Any) -> Any:
+    print(write_value(a), end="")
+    return UNSPECIFIED
+
+
+@_define("error", 1, None, pure=False)
+def _error(message: Any, *irritants: Any) -> Any:
+    text = message if isinstance(message, str) else write_value(message)
+    if irritants:
+        text += " " + " ".join(write_value(i) for i in irritants)
+    raise SchemeError(text)
+
+
+@_define("void", 0, 0)
+def _void() -> Any:
+    return UNSPECIFIED
+
+
+# -- cells (introduced by assignment elimination) --------------------------------
+
+
+class Cell:
+    """A mutable reference cell; the target of eliminated ``set!`` forms."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"#<cell {write_value(self.value)}>"
+
+
+@_define("make-cell", 1, 1, pure=False)
+def _make_cell(a: Any) -> Cell:
+    return Cell(a)
+
+
+@_define("cell-ref", 1, 1, pure=False)
+def _cell_ref(a: Any) -> Any:
+    if not isinstance(a, Cell):
+        raise PrimitiveError("cell-ref", "expected a cell")
+    return a.value
+
+
+@_define("cell-set!", 2, 2, pure=False)
+def _cell_set(a: Any, value: Any) -> Any:
+    if not isinstance(a, Cell):
+        raise PrimitiveError("cell-set!", "expected a cell")
+    a.value = value
+    return UNSPECIFIED

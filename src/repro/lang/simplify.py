@@ -1,0 +1,68 @@
+"""Local simplifications run before analysis.
+
+Currently one rewrite, *beta-let*: an application whose operator is a
+literal lambda becomes a chain of ``let`` bindings::
+
+    ((lambda (x1 ... xn) M) A1 ... An)  ==>  (let (x1 A1) ... (let (xn An) M))
+
+The desugarer produces this shape for multi-binding ``let``; converting it
+back to ``let`` lets the binding-time analysis give each binding its own
+binding time instead of approximating through a closure.
+
+Safety: with alpha-unique names the nesting cannot capture (``Ai`` cannot
+reference ``xj``), and evaluation order of the arguments is preserved.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast import (
+    App,
+    Const,
+    Def,
+    Expr,
+    If,
+    Lam,
+    Let,
+    Prim,
+    Program,
+    SetBang,
+    Var,
+)
+
+
+def beta_let(expr: Expr) -> Expr:
+    """Apply the beta-let rewrite everywhere in ``expr`` (bottom-up)."""
+    expr = _map_children(expr, beta_let)
+    if isinstance(expr, App) and isinstance(expr.fn, Lam):
+        lam = expr.fn
+        if len(lam.params) == len(expr.args):
+            body = lam.body
+            for param, arg in zip(reversed(lam.params), reversed(expr.args)):
+                body = Let(param, arg, body)
+            return body
+    return expr
+
+
+def beta_let_program(program: Program) -> Program:
+    return Program(
+        tuple(Def(d.name, d.params, beta_let(d.body)) for d in program.defs),
+        program.goal,
+    )
+
+
+def _map_children(expr: Expr, f) -> Expr:
+    if isinstance(expr, (Const, Var)):
+        return expr
+    if isinstance(expr, Lam):
+        return Lam(expr.params, f(expr.body))
+    if isinstance(expr, Let):
+        return Let(expr.var, f(expr.rhs), f(expr.body))
+    if isinstance(expr, If):
+        return If(f(expr.test), f(expr.then), f(expr.alt))
+    if isinstance(expr, App):
+        return App(f(expr.fn), tuple(f(a) for a in expr.args))
+    if isinstance(expr, Prim):
+        return Prim(expr.op, tuple(f(a) for a in expr.args))
+    if isinstance(expr, SetBang):
+        return SetBang(expr.var, f(expr.rhs))
+    raise TypeError(f"simplify does not handle {type(expr).__name__}")

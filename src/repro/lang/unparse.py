@@ -1,0 +1,101 @@
+"""Unparsing CS/ACS expressions back to s-expressions.
+
+The inverse of the parser for core forms.  Annotated constructs render in
+the paper's notation: ``lift``, ``(O^D ...)``, ``lambda^D``, ``@^D``,
+``if^D``, and ``(memo-call f ...)``, so annotated programs can be printed
+and inspected.  ``parse_expr(unparse(e)) == e`` holds for pure CS
+expressions (tested), which is what the source backend relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.lang.ast import (
+    App,
+    Const,
+    DApp,
+    DIf,
+    DLam,
+    DPrim,
+    Def,
+    Expr,
+    If,
+    Lam,
+    Let,
+    Lift,
+    MemoCall,
+    Prim,
+    Program,
+    SetBang,
+    Var,
+)
+from repro.sexp.datum import Symbol, sym
+
+_QUOTE = sym("quote")
+_LAMBDA = sym("lambda")
+_LET = sym("let")
+_IF = sym("if")
+_SETBANG = sym("set!")
+_DEFINE = sym("define")
+_LIFT = sym("lift")
+_DLAMBDA = sym("lambda^D")
+_DAPP = sym("@^D")
+_DIF = sym("if^D")
+_MEMO = sym("memo-call")
+
+
+def _thaw(value: Any) -> Any:
+    """Convert frozen constant data (tuples) back to reader lists."""
+    if isinstance(value, tuple):
+        return [_thaw(item) for item in value]
+    return value
+
+
+def _const_datum(value: Any) -> Any:
+    """Render a constant, quoting when the datum is not self-evaluating."""
+    if isinstance(value, (Symbol, tuple)):
+        return [_QUOTE, _thaw(value)]
+    return value
+
+
+def unparse(expr: Expr) -> Any:
+    """Convert an expression to reader data."""
+    if isinstance(expr, Const):
+        return _const_datum(expr.value)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Lam):
+        return [_LAMBDA, list(expr.params), unparse(expr.body)]
+    if isinstance(expr, Let):
+        return [_LET, [expr.var, unparse(expr.rhs)], unparse(expr.body)]
+    if isinstance(expr, If):
+        return [_IF, unparse(expr.test), unparse(expr.then), unparse(expr.alt)]
+    if isinstance(expr, App):
+        return [unparse(expr.fn), *[unparse(a) for a in expr.args]]
+    if isinstance(expr, Prim):
+        return [expr.op, *[unparse(a) for a in expr.args]]
+    if isinstance(expr, SetBang):
+        return [_SETBANG, expr.var, unparse(expr.rhs)]
+    if isinstance(expr, Lift):
+        return [_LIFT, unparse(expr.expr)]
+    if isinstance(expr, DPrim):
+        return [sym(expr.op.name + "^D"), *[unparse(a) for a in expr.args]]
+    if isinstance(expr, DLam):
+        return [_DLAMBDA, list(expr.params), unparse(expr.body)]
+    if isinstance(expr, DApp):
+        return [_DAPP, unparse(expr.fn), *[unparse(a) for a in expr.args]]
+    if isinstance(expr, DIf):
+        return [_DIF, unparse(expr.test), unparse(expr.then), unparse(expr.alt)]
+    if isinstance(expr, MemoCall):
+        return [_MEMO, expr.name, *[unparse(a) for a in expr.args]]
+    raise TypeError(f"cannot unparse {type(expr).__name__}")
+
+
+def unparse_def(d: Def) -> Any:
+    return [_DEFINE, [d.name, *d.params], unparse(d.body)]
+
+
+def unparse_program(program: Program) -> list:
+    """Convert a program to a list of top-level ``define`` forms."""
+    return [unparse_def(d) for d in program.defs]

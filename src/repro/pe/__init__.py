@@ -1,0 +1,49 @@
+"""The offline partial evaluation system (the PGG).
+
+Subsystems:
+
+* :mod:`repro.pe.values` — specialization-time values (static / dynamic);
+* :mod:`repro.pe.backend` — the residual-code constructor interface (the
+  "syntax constructors" that deforestation replaces, §5.4) and the source
+  backend that builds residual CS programs;
+* :mod:`repro.pe.specializer` — the continuation-based specializer of
+  Fig. 3 with standard memoization [30, 60];
+* :mod:`repro.pe.fig3` — a literal, expression-level transliteration of
+  Fig. 3 used to validate the production engine;
+* :mod:`repro.pe.bta` — binding-time analysis with a closure analysis;
+* :mod:`repro.pe.annotate` — producing Annotated Core Scheme;
+* :mod:`repro.pe.cogen` — generating extensions (compiled specializers).
+"""
+
+from repro.pe.annprog import (
+    AnnDef,
+    AnnotatedProgram,
+    BindingTime,
+    parse_signature,
+)
+from repro.pe.backend import Backend, ResidualProgram, SourceBackend
+from repro.pe.bta import BTAResult, analyze, prepare
+from repro.pe.errors import BindingTimeError, PEError, SpecializationError
+from repro.pe.specializer import Specializer, specialize
+from repro.pe.values import Dynamic, SpecClosure, Static
+
+__all__ = [
+    "AnnDef",
+    "AnnotatedProgram",
+    "Backend",
+    "BindingTime",
+    "BindingTimeError",
+    "BTAResult",
+    "Dynamic",
+    "PEError",
+    "ResidualProgram",
+    "SourceBackend",
+    "SpecClosure",
+    "Specializer",
+    "SpecializationError",
+    "Static",
+    "analyze",
+    "parse_signature",
+    "prepare",
+    "specialize",
+]

@@ -1,0 +1,85 @@
+"""Annotated programs: what binding-time analysis hands the specializer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Tuple
+
+from repro.lang.ast import Expr
+from repro.sexp.datum import Symbol
+
+
+class BindingTime(Enum):
+    """The two-point binding-time lattice, S below D."""
+
+    STATIC = "S"
+    DYNAMIC = "D"
+
+    def __or__(self, other: "BindingTime") -> "BindingTime":
+        if self is BindingTime.DYNAMIC or other is BindingTime.DYNAMIC:
+            return BindingTime.DYNAMIC
+        return BindingTime.STATIC
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.value
+
+
+S = BindingTime.STATIC
+D = BindingTime.DYNAMIC
+
+
+def parse_signature(text: str) -> tuple[BindingTime, ...]:
+    """Parse a signature like ``"SD"`` or ``"s d"`` into binding times."""
+    bts = []
+    for ch in text.replace(" ", "").upper():
+        if ch == "S":
+            bts.append(S)
+        elif ch == "D":
+            bts.append(D)
+        else:
+            raise ValueError(f"bad binding-time character {ch!r}")
+    return tuple(bts)
+
+
+@dataclass(frozen=True, slots=True)
+class AnnDef:
+    """An annotated top-level definition.
+
+    ``bts`` gives the binding time of each parameter.  ``residual`` marks
+    definitions whose calls are memoization points (specialization
+    points); calls to non-residual definitions are unfolded.
+    """
+
+    name: Symbol
+    params: Tuple[Symbol, ...]
+    bts: Tuple[BindingTime, ...]
+    body: Expr
+    residual: bool
+
+    def static_params(self) -> tuple[Symbol, ...]:
+        return tuple(p for p, bt in zip(self.params, self.bts) if bt is S)
+
+    def dynamic_params(self) -> tuple[Symbol, ...]:
+        return tuple(p for p, bt in zip(self.params, self.bts) if bt is D)
+
+
+@dataclass(frozen=True, slots=True)
+class AnnotatedProgram:
+    """A whole binding-time-annotated program."""
+
+    defs: Tuple[AnnDef, ...]
+    goal: Symbol
+    _index: dict = field(default=None, compare=False, repr=False, hash=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_index", {d.name: d for d in self.defs})
+
+    def lookup(self, name: Symbol) -> AnnDef:
+        return self._index[name]
+
+    def has(self, name: Symbol) -> bool:
+        return name in self._index
+
+    def goal_def(self) -> AnnDef:
+        return self._index[self.goal]

@@ -1,0 +1,156 @@
+"""The residual-code constructor interface and the source backend.
+
+The specializer is parameterized over the functions that construct residual
+code — the paper's point (§5.4): "we parameterize [the specializer] over
+the (standard) syntax constructors and provide alternative implementations
+for them: one that constructs syntax and another one that corresponds to
+the compiler".
+
+:class:`SourceBackend` is the first implementation: it builds residual
+*source* programs (CS abstract syntax in ANF).  The second implementation —
+the object-code backend assembled from the compiler's code-generation
+combinators — lives in :mod:`repro.compiler.fusion`; it is the composition
+the paper is about.
+
+Handle disciplines a backend must obey (the specializer relies on them):
+
+* ``var``/``const``/``lam``/``global_ref`` produce *trivial* handles;
+* ``prim``/``call`` produce *serious* handles, which the specializer
+  immediately puts into ``let`` or ``tail`` position (the ANF discipline);
+* ``let``/``if_``/``ret``/``tail`` produce *body* handles;
+* ``define`` consumes a body for one residual top-level function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Protocol, Sequence
+
+from repro.lang.ast import (
+    App,
+    Const,
+    Def,
+    Expr,
+    If,
+    Lam,
+    Let,
+    Prim,
+    Program,
+    Var,
+)
+from repro.runtime.values import value_to_datum
+from repro.sexp.datum import Symbol
+
+
+class Backend(Protocol):
+    """What the specializer needs from a residual-code constructor set."""
+
+    def const(self, value: Any) -> Any: ...
+
+    def var(self, name: Symbol) -> Any: ...
+
+    def global_ref(self, name: Symbol) -> Any: ...
+
+    def lam(self, params: Sequence[Symbol], body: Any) -> Any: ...
+
+    def prim(self, op: Symbol, args: Sequence[Any]) -> Any: ...
+
+    def call(self, fn: Any, args: Sequence[Any]) -> Any: ...
+
+    def let(self, var: Symbol, rhs: Any, body: Any) -> Any: ...
+
+    def if_(self, test: Any, then: Any, alt: Any) -> Any: ...
+
+    def ret(self, triv: Any) -> Any: ...
+
+    def tail(self, serious: Any) -> Any: ...
+
+    def define(self, name: Symbol, params: Sequence[Symbol], body: Any) -> None: ...
+
+
+@dataclass
+class ResidualProgram:
+    """What specialization produces, in backend-independent terms.
+
+    ``goal`` names the entry point; ``goal_params`` are its (dynamic)
+    parameters.  The concrete artifact depends on the backend:
+    :attr:`program` for source, :attr:`machine` for object code.
+    """
+
+    goal: Symbol
+    goal_params: tuple[Symbol, ...]
+    program: Program | None = None      # source backend
+    machine: Any = None                 # object-code backend
+    stats: dict = field(default_factory=dict)
+
+    def run(self, args: Sequence[Any]) -> Any:
+        """Run the residual program on dynamic arguments."""
+        if self.machine is not None:
+            return self.machine.call_named(self.goal, list(args))
+        from repro.interp import run_program
+
+        return run_program(self.program, list(args))
+
+
+class SourceBackend:
+    """Builds residual programs as CS abstract syntax (always in ANF)."""
+
+    def __init__(self) -> None:
+        self.defs: list[Def] = []
+
+    # -- trivial constructors ------------------------------------------------
+
+    def const(self, value: Any) -> Expr:
+        return Const(_freeze_datum(value))
+
+    def var(self, name: Symbol) -> Expr:
+        return Var(name)
+
+    def global_ref(self, name: Symbol) -> Expr:
+        return Var(name)
+
+    def lam(self, params: Sequence[Symbol], body: Expr) -> Expr:
+        return Lam(tuple(params), body)
+
+    # -- serious constructors ---------------------------------------------------
+
+    def prim(self, op: Symbol, args: Sequence[Expr]) -> Expr:
+        return Prim(op, tuple(args))
+
+    def call(self, fn: Expr, args: Sequence[Expr]) -> Expr:
+        return App(fn, tuple(args))
+
+    # -- body constructors ---------------------------------------------------------
+
+    def let(self, var: Symbol, rhs: Expr, body: Expr) -> Expr:
+        return Let(var, rhs, body)
+
+    def if_(self, test: Expr, then: Expr, alt: Expr) -> Expr:
+        return If(test, then, alt)
+
+    def ret(self, triv: Expr) -> Expr:
+        return triv
+
+    def tail(self, serious: Expr) -> Expr:
+        return serious
+
+    # -- definitions ------------------------------------------------------------------
+
+    def define(self, name: Symbol, params: Sequence[Symbol], body: Expr) -> None:
+        self.defs.append(Def(name, tuple(params), body))
+
+    def finish(self, goal: Symbol, goal_params: tuple[Symbol, ...]) -> ResidualProgram:
+        program = Program(tuple(self.defs), goal)
+        return ResidualProgram(goal=goal, goal_params=goal_params, program=program)
+
+
+def _freeze_datum(value: Any) -> Any:
+    """Convert a run-time value into frozen constant data for a Const."""
+    datum = value_to_datum(value)
+    return _tupleize(datum)
+
+
+def _tupleize(datum: Any) -> Any:
+    if isinstance(datum, list):
+        return tuple(_tupleize(d) for d in datum)
+    return datum

@@ -1,0 +1,742 @@
+"""Binding-time analysis (BTA).
+
+"Notably, the binding-time analysis, which is a vital part of every offline
+partial evaluator, can automatically determine a proper staging of
+computations" (§1).  Given a program and a binding-time signature for the
+goal function's parameters, the analysis computes a congruent monovariant
+division and produces Annotated Core Scheme for the specializer.
+
+The analysis is a joint fixpoint over three interleaved, monotone maps:
+
+* **abstract values** (a 0-CFA-style closure analysis): which lambdas,
+  top-level functions, and primitives can reach each expression and
+  variable — needed to propagate binding times through higher-order code;
+* **binding times** on the two-point lattice S ⊑ D;
+* **code demand**: positions whose value must become residual code.  A
+  static first-order value in a demanded position is lifted at annotation
+  time; a *lambda* reaching a demanded position is forced dynamic
+  (lambdas cannot be lifted), which feeds back into the binding times of
+  its parameters.
+
+Call sites to top-level functions are classified **unfold** or **memoize**
+per site:
+
+* calls to non-recursive functions, and calls whose callee has only static
+  parameters, unfold;
+* calls within a recursive component unfold when some static argument is a
+  structural *descent* (a chain of list destructors) of an enclosing
+  static variable — the classic criterion that lets an interpreter's
+  expression walk be unfolded while its function-call loop is memoized;
+* everything else is a memoization point (a residual specialization
+  point), as are all calls to functions listed in ``memo_hints``.
+
+The front-end pipeline (the paper's §4: desugaring, lambda lifting,
+assignment elimination) runs first, followed by eta-expansion of top-level
+functions used as values, so that function names only ever appear in
+operator position.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+import networkx as nx
+
+from repro.lang.alpha import alpha_rename
+from repro.lang.assignment import eliminate_assignments
+from repro.lang.ast import (
+    App,
+    Const,
+    DApp,
+    DIf,
+    DLam,
+    DPrim,
+    Def,
+    Expr,
+    If,
+    Lam,
+    Let,
+    Lift,
+    MemoCall,
+    Prim,
+    Program,
+    Var,
+)
+from repro.lang.gensym import Gensym
+from repro.lang.lambda_lift import lambda_lift
+from repro.lang.prims import PRIMITIVES
+from repro.lang.simplify import beta_let_program
+from repro.pe.annprog import AnnDef, AnnotatedProgram, BindingTime, parse_signature
+from repro.pe.errors import BindingTimeError
+from repro.sexp.datum import Symbol, sym
+
+S = BindingTime.STATIC
+D = BindingTime.DYNAMIC
+
+# Primitives whose application to a static variable counts as structural
+# descent for the unfold/memoize decision.
+_DESTRUCTORS = frozenset(
+    name
+    for name in (
+        sym(n)
+        for n in (
+            "car", "cdr", "caar", "cadr", "cdar", "cddr",
+            "caaa", "caad", "cada", "cadd", "cdaa", "cdad", "cdda", "cddd",
+            "caddr", "cdddr", "cadddr", "list-ref", "list-tail",
+        )
+    )
+    if name in PRIMITIVES
+)
+
+_QUOTIENT = sym("quotient")
+_SUB1 = sym("sub1")
+_NUMERIC_DESCENT = frozenset({sym("-"), _QUOTIENT})
+
+# Primitives that are *transparent* to the closure analysis: a closure
+# stored in a pair can come back out of car/cdr, so abstract values flow
+# through these operations ("smushing").  Without this, an interpreter
+# that keeps thunks in an environment list would leak static closures
+# into residual code.
+_CONTAINER_OPS = frozenset(
+    name
+    for name in (
+        sym(n)
+        for n in (
+            "cons", "list", "append", "reverse", "car", "cdr",
+            "caar", "cadr", "cdar", "cddr", "caddr", "cdddr", "cadddr",
+            "list-ref", "list-tail", "memq", "memv", "member",
+            "assq", "assv", "assoc",
+        )
+    )
+    if name in PRIMITIVES
+)
+
+
+@dataclass
+class BTAResult:
+    """The analysis output: the annotated program plus diagnostics."""
+
+    annotated: AnnotatedProgram
+    prepared: Program
+    division: dict
+    residual_defs: frozenset
+    decisions: dict = field(default_factory=dict)
+
+
+def prepare(program: Program) -> Program:
+    """The specializer's front-end pipeline (§4).
+
+    Beta-let conversion, lambda lifting, assignment elimination, and a
+    final alpha renaming making every bound name globally unique; then
+    eta-expansion of top-level function names used as values.
+    """
+    gs = Gensym("p")
+    program = beta_let_program(program)
+    program = lambda_lift(program, gs)
+    program = eliminate_assignments(program, gs)
+    program = beta_let_program(program)
+    program = alpha_rename(program, gs, rename_params=True)
+    return _eta_expand_def_values(program, gs)
+
+
+def _eta_expand_def_values(program: Program, gs: Gensym) -> Program:
+    """Rewrite non-operator references to top-level functions.
+
+    ``f`` becomes ``(lambda (x ...) (f x ...))`` so that analysis and
+    specializer only ever see direct calls to top-level functions.
+    """
+    def_names = {d.name: d for d in program.defs}
+
+    def rewrite(e: Expr, operator: bool = False) -> Expr:
+        if isinstance(e, Var):
+            d = def_names.get(e.name)
+            if d is not None and not operator:
+                params = tuple(gs.fresh(p) for p in d.params)
+                return Lam(params, App(e, tuple(Var(p) for p in params)))
+            return e
+        if isinstance(e, Const):
+            return e
+        if isinstance(e, Lam):
+            return Lam(e.params, rewrite(e.body))
+        if isinstance(e, Let):
+            return Let(e.var, rewrite(e.rhs), rewrite(e.body))
+        if isinstance(e, If):
+            return If(rewrite(e.test), rewrite(e.then), rewrite(e.alt))
+        if isinstance(e, App):
+            return App(
+                rewrite(e.fn, operator=isinstance(e.fn, Var)),
+                tuple(rewrite(a) for a in e.args),
+            )
+        if isinstance(e, Prim):
+            return Prim(e.op, tuple(rewrite(a) for a in e.args))
+        raise BindingTimeError(
+            f"front end left a {type(e).__name__} node for the analysis"
+        )
+
+    return Program(
+        tuple(Def(d.name, d.params, rewrite(d.body)) for d in program.defs),
+        program.goal,
+    )
+
+
+class _Analysis:
+    """The joint CFA / binding-time / demand fixpoint."""
+
+    def __init__(
+        self,
+        program: Program,
+        signature: tuple[BindingTime, ...],
+        memo_hints: frozenset[Symbol],
+        unfold_hints: frozenset[Symbol],
+    ):
+        self.program = program
+        self.defs = {d.name: d for d in program.defs}
+        self.signature = signature
+        self.memo_hints = memo_hints
+        self.unfold_hints = unfold_hints
+
+        goal = program.lookup(program.goal)
+        if len(signature) != len(goal.params):
+            raise BindingTimeError(
+                f"signature length {len(signature)} does not match goal"
+                f" arity {len(goal.params)}"
+            )
+
+        # Keys: id(node) for expression occurrences, Symbol for variables,
+        # ('result', defname) for definition results.
+        self.aval: dict[Any, set] = {}
+        self.bt: dict[Any, BindingTime] = {}
+        self.demand: set[Any] = set()
+        self.node_of: dict[int, Expr] = {}
+        self.lam_forced: set[int] = set()
+        self._memo_called_set: set[Symbol] = set()
+        self.changed = False
+
+        self.sccs = self._call_sccs()
+        self.recursive: set[Symbol] = set()
+        for comp in self.sccs:
+            if len(comp) > 1:
+                self.recursive |= comp
+            else:
+                (f,) = comp
+                if self._calls_directly(f, f):
+                    self.recursive.add(f)
+        self.scc_of: dict[Symbol, frozenset] = {}
+        for comp in self.sccs:
+            for f in comp:
+                self.scc_of[f] = frozenset(comp)
+
+        # Goal parameters get their signature binding times.
+        for p, bt in zip(goal.params, signature):
+            if bt is D:
+                self._raise_bt(p)
+
+        # Per-node structural-descent status, recomputed each pass.
+        self.chain: dict[int, str | None] = {}
+
+    # -- small lattice helpers -------------------------------------------------
+
+    def _get_bt(self, key: Any) -> BindingTime:
+        return self.bt.get(key, S)
+
+    def _raise_bt(self, key: Any) -> None:
+        if self.bt.get(key, S) is not D:
+            self.bt[key] = D
+            self.changed = True
+
+    def _flow_bt(self, src: Any, dst: Any) -> None:
+        if self._get_bt(src) is D:
+            self._raise_bt(dst)
+
+    def _avals(self, key: Any) -> set:
+        return self.aval.setdefault(key, set())
+
+    def _flow_aval(self, src: Any, dst: Any) -> None:
+        s, d = self._avals(src), self._avals(dst)
+        extra = s - d
+        if extra:
+            d |= extra
+            self.changed = True
+
+    def _add_aval(self, key: Any, item: tuple) -> None:
+        s = self._avals(key)
+        if item not in s:
+            s.add(item)
+            self.changed = True
+
+    def _demand(self, key: Any) -> None:
+        if key not in self.demand:
+            self.demand.add(key)
+            self.changed = True
+
+    def _force_lam(self, lam_id: int) -> None:
+        if lam_id not in self.lam_forced:
+            self.lam_forced.add(lam_id)
+            self.changed = True
+            lam = self.node_of[lam_id]
+            for p in lam.params:
+                self._raise_bt(p)
+
+    # -- call graph ---------------------------------------------------------------
+
+    def _calls_directly(self, f: Symbol, g: Symbol) -> bool:
+        from repro.lang.ast import walk
+
+        for node in walk(self.defs[f].body):
+            if (
+                isinstance(node, App)
+                and isinstance(node.fn, Var)
+                and node.fn.name is g
+            ):
+                return True
+        return False
+
+    def _call_sccs(self) -> list[set]:
+        from repro.lang.ast import walk
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self.defs)
+        for name, d in self.defs.items():
+            for node in walk(d.body):
+                if (
+                    isinstance(node, App)
+                    and isinstance(node.fn, Var)
+                    and node.fn.name in self.defs
+                ):
+                    graph.add_edge(name, node.fn.name)
+        return [set(c) for c in nx.strongly_connected_components(graph)]
+
+    # -- the fixpoint ----------------------------------------------------------------
+
+    def solve(self) -> None:
+        for _round in range(1000):
+            self.changed = False
+            for d in self.program.defs:
+                self.chain = {}
+                self._chain_pass(d.body, {})
+                self._analyze(d.body, d.name)
+                # A definition's result.
+                self._flow_aval(id(d.body), ("result", d.name))
+                self._flow_bt(id(d.body), ("result", d.name))
+                if self.is_residual(d.name):
+                    self._demand(id(d.body))
+            # Demanded positions force their lambdas dynamic.
+            for key in list(self.demand):
+                for item in self._avals(key):
+                    if item[0] == "lam":
+                        self._force_lam(item[1])
+            if not self.changed:
+                return
+        raise BindingTimeError("binding-time analysis did not converge")
+
+    # -- residual / unfold decisions -----------------------------------------------------
+
+    def has_dynamic_param(self, f: Symbol) -> bool:
+        return any(self._get_bt(p) is D for p in self.defs[f].params)
+
+    def call_decision(self, caller: Symbol, callee: Symbol, app: App) -> str:
+        """'unfold' or 'memo' for this call site."""
+        if callee in self.unfold_hints:
+            return "unfold"
+        if callee not in self.recursive:
+            return "unfold"
+        if not self.has_dynamic_param(callee):
+            return "unfold"
+        if callee in self.memo_hints:
+            return "memo"
+        if self.scc_of[callee] != self.scc_of.get(caller):
+            # Entering a recursive component from outside cannot by itself
+            # build an infinite unfolding chain.
+            return "unfold"
+        # Within the component: unfold only on structural descent of a
+        # static argument.
+        callee_def = self.defs[callee]
+        for arg, p in zip(app.args, callee_def.params):
+            if self._get_bt(p) is S and self.chain.get(id(arg)) == "desc":
+                return "unfold"
+        return "memo"
+
+    def is_residual(self, f: Symbol) -> bool:
+        if f is self.program.goal:
+            return True
+        return f in self._memo_called_set
+
+    # -- structural descent ---------------------------------------------------------------
+
+    def _chain_pass(self, e: Expr, env: dict[Symbol, str | None]) -> str | None:
+        """Compute descent status: 'var' (a static variable), 'desc'
+        (a destructor chain over a static variable), or None."""
+        status: str | None = None
+        if isinstance(e, Var):
+            if e.name in env:
+                status = env[e.name]
+            elif self._get_bt(e.name) is S and e.name not in self.defs:
+                status = "var"
+        elif isinstance(e, Prim):
+            for a in e.args:
+                self._chain_pass(a, env)
+            if e.op in _DESTRUCTORS and e.args:
+                first = self.chain.get(id(e.args[0]))
+                if first in ("var", "desc"):
+                    status = "desc"
+            elif e.op in _NUMERIC_DESCENT and len(e.args) == 2:
+                # (- n k) / (quotient n k) with a positive constant k is
+                # treated as numeric descent (the usual induction pattern).
+                first = self.chain.get(id(e.args[0]))
+                step = e.args[1]
+                if (
+                    first in ("var", "desc")
+                    and isinstance(step, Const)
+                    and isinstance(step.value, int)
+                    and not isinstance(step.value, bool)
+                    and step.value >= 1
+                    and (e.op is not _QUOTIENT or step.value >= 2)
+                ):
+                    status = "desc"
+            elif e.op is _SUB1 and e.args:
+                first = self.chain.get(id(e.args[0]))
+                if first in ("var", "desc"):
+                    status = "desc"
+        elif isinstance(e, Let):
+            rhs_status = self._chain_pass(e.rhs, env)
+            self._chain_pass(e.body, {**env, e.var: rhs_status})
+            status = self.chain.get(id(e.body))
+        elif isinstance(e, If):
+            self._chain_pass(e.test, env)
+            self._chain_pass(e.then, env)
+            self._chain_pass(e.alt, env)
+        else:
+            for c in e.children():
+                self._chain_pass(c, env)
+        self.chain[id(e)] = status
+        return status
+
+    # -- per-node analysis -------------------------------------------------------------------
+
+    def _analyze(self, e: Expr, host: Symbol) -> None:
+        nid = id(e)
+        self.node_of[nid] = e
+
+        if isinstance(e, Const):
+            return
+
+        if isinstance(e, Var):
+            name = e.name
+            if name in self.defs:
+                self._add_aval(nid, ("def", name))
+                return
+            if name in PRIMITIVES and "%" not in name.name:
+                # A free reference to a primitive used as a value (every
+                # bound name carries a '%' after the renaming pipeline).
+                self._add_aval(nid, ("prim", name))
+                return
+            self._flow_aval(name, nid)
+            self._flow_bt(name, nid)
+            return
+
+        if isinstance(e, Lam):
+            self._add_aval(nid, ("lam", nid))
+            self._analyze(e.body, host)
+            if nid in self.lam_forced:
+                self._raise_bt(nid)
+                self._demand(id(e.body))
+            return
+
+        if isinstance(e, Let):
+            self._analyze(e.rhs, host)
+            self._analyze(e.body, host)
+            self._flow_aval(id(e.rhs), e.var)
+            self._flow_bt(id(e.rhs), e.var)
+            self._flow_aval(id(e.body), nid)
+            self._flow_bt(id(e.body), nid)
+            if nid in self.demand:
+                self._demand(id(e.body))
+            return
+
+        if isinstance(e, If):
+            self._analyze(e.test, host)
+            self._analyze(e.then, host)
+            self._analyze(e.alt, host)
+            for br in (e.then, e.alt):
+                self._flow_aval(id(br), nid)
+                self._flow_bt(id(br), nid)
+            if self._get_bt(id(e.test)) is D:
+                self._raise_bt(nid)
+                self._demand(id(e.test))
+                self._demand(id(e.then))
+                self._demand(id(e.alt))
+            elif nid in self.demand:
+                self._demand(id(e.then))
+                self._demand(id(e.alt))
+            return
+
+        if isinstance(e, Prim):
+            for a in e.args:
+                self._analyze(a, host)
+            spec = PRIMITIVES.get(e.op)
+            impure = spec is not None and not spec.pure
+            any_dynamic = any(self._get_bt(id(a)) is D for a in e.args)
+            if e.op in _CONTAINER_OPS:
+                # Closures may travel through containers.
+                for a in e.args:
+                    self._flow_aval(id(a), nid)
+            if impure or any_dynamic:
+                self._raise_bt(nid)
+                for a in e.args:
+                    self._demand(id(a))
+            elif nid in self.demand and e.op in _CONTAINER_OPS:
+                # Lifting a constructed value lifts its components.
+                for a in e.args:
+                    self._demand(id(a))
+            return
+
+        if isinstance(e, App):
+            self._analyze(e.fn, host)
+            for a in e.args:
+                self._analyze(a, host)
+            fn_id = id(e.fn)
+            callables = self._avals(fn_id)
+            forced_lam_present = any(
+                item[0] == "lam" and item[1] in self.lam_forced
+                for item in callables
+            )
+            if self._get_bt(fn_id) is D or forced_lam_present:
+                # Residual application.
+                self._raise_bt(nid)
+                self._demand(fn_id)
+                for a in e.args:
+                    self._demand(id(a))
+                return
+            for item in callables:
+                if item[0] == "lam":
+                    lam = self.node_of[item[1]]
+                    for a, p in zip(e.args, lam.params):
+                        self._flow_aval(id(a), p)
+                        self._flow_bt(id(a), p)
+                    self._flow_aval(id(lam.body), nid)
+                    self._flow_bt(id(lam.body), nid)
+                    if nid in self.demand:
+                        self._demand(id(lam.body))
+                elif item[0] == "def":
+                    f = item[1]
+                    callee = self.defs[f]
+                    decision = self.call_decision(host, f, e)
+                    for a, p in zip(e.args, callee.params):
+                        self._flow_aval(id(a), p)
+                        self._flow_bt(id(a), p)
+                    if decision == "memo":
+                        self._memo_called_set.add(f)
+                        self._raise_bt(nid)
+                        for a, p in zip(e.args, callee.params):
+                            if self._get_bt(p) is D:
+                                self._demand(id(a))
+                    else:
+                        self._flow_aval(("result", f), nid)
+                        self._flow_bt(("result", f), nid)
+                        if nid in self.demand:
+                            self._demand(id(self.defs[f].body))
+                elif item[0] == "prim":
+                    spec = PRIMITIVES.get(item[1])
+                    impure = spec is not None and not spec.pure
+                    if impure or any(
+                        self._get_bt(id(a)) is D for a in e.args
+                    ):
+                        self._raise_bt(nid)
+                        for a in e.args:
+                            self._demand(id(a))
+            return
+
+        raise BindingTimeError(
+            f"analysis cannot handle {type(e).__name__} nodes"
+        )
+
+
+def analyze(
+    program: Program,
+    signature: str | tuple[BindingTime, ...],
+    memo_hints: Iterable[str | Symbol] = (),
+    unfold_hints: Iterable[str | Symbol] = (),
+) -> BTAResult:
+    """Run the front end and binding-time analysis; return annotated output.
+
+    ``signature`` gives the binding time of each goal parameter, e.g.
+    ``"SD"`` for a two-argument goal with a static first argument.
+    """
+    if isinstance(signature, str):
+        signature = parse_signature(signature)
+    prepared = prepare(program)
+    memo = frozenset(sym(h) if isinstance(h, str) else h for h in memo_hints)
+    unfold = frozenset(sym(h) if isinstance(h, str) else h for h in unfold_hints)
+    analysis = _Analysis(prepared, signature, memo, unfold)
+    analysis.solve()
+    annotated = _annotate_program(analysis)
+    division = {
+        name: analysis._get_bt(name)
+        for d in prepared.defs
+        for name in d.params
+    }
+    return BTAResult(
+        annotated=annotated,
+        prepared=prepared,
+        division=division,
+        residual_defs=frozenset(
+            d.name for d in annotated.defs if d.residual
+        ),
+    )
+
+
+# -- annotation ---------------------------------------------------------------------------
+
+
+def _annotate_program(analysis: _Analysis) -> AnnotatedProgram:
+    program = analysis.program
+    reachable = _reachable_defs(program)
+    ann_defs = []
+    for d in program.defs:
+        if d.name not in reachable:
+            continue
+        analysis.chain = {}
+        analysis._chain_pass(d.body, {})
+        annotator = _Annotator(analysis, d.name)
+        residual = analysis.is_residual(d.name)
+        body = annotator.annotate(d.body, demand=residual)
+        bts = tuple(analysis._get_bt(p) for p in d.params)
+        ann_defs.append(AnnDef(d.name, d.params, bts, body, residual))
+    return AnnotatedProgram(tuple(ann_defs), program.goal)
+
+
+def _reachable_defs(program: Program) -> set[Symbol]:
+    from repro.lang.ast import walk
+
+    names = {d.name for d in program.defs}
+    seen: set[Symbol] = set()
+    work = [program.goal]
+    while work:
+        f = work.pop()
+        if f in seen:
+            continue
+        seen.add(f)
+        for node in walk(program.lookup(f).body):
+            if isinstance(node, Var) and node.name in names:
+                work.append(node.name)
+    return seen
+
+
+class _Annotator:
+    """Produces ACS from the solved analysis."""
+
+    def __init__(self, analysis: _Analysis, host: Symbol):
+        self.a = analysis
+        self.host = host
+
+    def _is_dynamic(self, e: Expr) -> bool:
+        return self.a._get_bt(id(e)) is D
+
+    def _wrap(self, annotated: Expr, original: Expr, demand: bool) -> Expr:
+        """Insert a lift when a static value sits in a code position."""
+        if demand and not self._is_dynamic(original):
+            return Lift(annotated)
+        return annotated
+
+    def annotate(self, e: Expr, demand: bool) -> Expr:
+        a = self.a
+        if isinstance(e, Const):
+            return self._wrap(e, e, demand)
+
+        if isinstance(e, Var):
+            return self._wrap(e, e, demand)
+
+        if isinstance(e, Lam):
+            if id(e) in a.lam_forced:
+                return DLam(e.params, self.annotate(e.body, demand=True))
+            if demand:
+                raise BindingTimeError(
+                    "a static lambda reached a dynamic context without"
+                    " being forced; analysis bug"
+                )
+            return Lam(e.params, self.annotate(e.body, demand=False))
+
+        if isinstance(e, Let):
+            return Let(
+                e.var,
+                self.annotate(e.rhs, demand=False),
+                self.annotate(e.body, demand=demand),
+            )
+
+        if isinstance(e, If):
+            if self._is_dynamic(e.test):
+                return DIf(
+                    self.annotate(e.test, demand=True),
+                    self.annotate(e.then, demand=True),
+                    self.annotate(e.alt, demand=True),
+                )
+            return If(
+                self.annotate(e.test, demand=False),
+                self.annotate(e.then, demand=demand),
+                self.annotate(e.alt, demand=demand),
+            )
+
+        if isinstance(e, Prim):
+            spec = PRIMITIVES.get(e.op)
+            impure = spec is not None and not spec.pure
+            any_dynamic = any(self._is_dynamic(x) for x in e.args)
+            if impure or any_dynamic:
+                return DPrim(
+                    e.op,
+                    tuple(self.annotate(x, demand=True) for x in e.args),
+                )
+            return self._wrap(
+                Prim(e.op, tuple(self.annotate(x, demand=False) for x in e.args)),
+                e,
+                demand,
+            )
+
+        if isinstance(e, App):
+            fn_id = id(e.fn)
+            callables = a._avals(fn_id)
+            forced_lam_present = any(
+                item[0] == "lam" and item[1] in a.lam_forced
+                for item in callables
+            )
+            if a._get_bt(fn_id) is D or forced_lam_present:
+                return DApp(
+                    self.annotate(e.fn, demand=True),
+                    tuple(self.annotate(x, demand=True) for x in e.args),
+                )
+            defs_reached = [i[1] for i in callables if i[0] == "def"]
+            if defs_reached:
+                if len(callables) != 1:
+                    raise BindingTimeError(
+                        f"call site in {self.host} may reach several"
+                        " targets including a top-level function; the"
+                        " monovariant analysis cannot annotate it"
+                    )
+                f = defs_reached[0]
+                decision = a.call_decision(self.host, f, e)
+                callee = a.defs[f]
+                if decision == "memo":
+                    args = tuple(
+                        self.annotate(x, demand=(a._get_bt(p) is D))
+                        for x, p in zip(e.args, callee.params)
+                    )
+                    return MemoCall(f, args)
+                return self._wrap(
+                    App(
+                        e.fn,
+                        tuple(self.annotate(x, demand=False) for x in e.args),
+                    ),
+                    e,
+                    demand,
+                )
+            # Static closure application (unfolding).
+            return self._wrap(
+                App(
+                    self.annotate(e.fn, demand=False),
+                    tuple(self.annotate(x, demand=False) for x in e.args),
+                ),
+                e,
+                demand,
+            )
+
+        raise BindingTimeError(f"cannot annotate {type(e).__name__}")

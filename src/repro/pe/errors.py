@@ -1,0 +1,16 @@
+"""Errors raised by the partial evaluation system."""
+
+from __future__ import annotations
+
+
+class PEError(Exception):
+    """Base class for partial evaluation errors."""
+
+
+class BindingTimeError(PEError):
+    """The binding-time analysis found an inconsistency (or an annotated
+    program violates the congruence discipline at specialization time)."""
+
+
+class SpecializationError(PEError):
+    """Specialization failed (spec-time error, or resource bound hit)."""

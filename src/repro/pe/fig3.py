@@ -1,0 +1,215 @@
+"""A literal transliteration of the specializer of Fig. 3.
+
+This is the paper's formal specializer, kept as close to the figure as
+Python allows: an expression-level, continuation-based partial evaluator
+for Annotated Core Scheme producing Core Scheme in ANF.  It has none of
+the production engine's machinery — no memoization, no backend
+parameterization, no tail-position refinement (Fig. 3 let-wraps *every*
+serious computation, even in tail position).
+
+Its role in the repository is validation: the test suite checks that the
+production engine (:mod:`repro.pe.specializer`) and this transliteration
+produce semantically identical residual code on expression-level inputs.
+
+Correspondence with the figure (S[[·]]ρ = λk. ...):
+
+====================  =====================================================
+Figure                Here
+====================  =====================================================
+S[[c]]ρ              = λk. k c                              ``Const``
+S[[x]]ρ              = λk. k (ρ x)                          ``Var``
+S[[(O E₁…Eₙ)]]ρ      = λk. S[[E₁]]ρ (λy₁. … k (O y₁…yₙ))    ``Prim``
+S[[(λx…E)]]ρ         = λk. k (closure)                      ``Lam``
+S[[(@ E₀ E₁…)]]ρ     = unfold                               ``App``
+S[[(let (x E₁) E₂)]]ρ = λk. S[[E₁]]ρ (λy. S[[E₂]]ρ[y/x] k)  ``Let``
+S[[(if E₁ E₂ E₃)]]ρ  = static choice                        ``If``
+S[[(lift E)]]ρ       = λk. S[[E]]ρ (λy. k y̲)               ``Lift``
+S[[(O^D E₁…)]]ρ      = let-wrapped dynamic primitive        ``DPrim``
+S[[(λ^D x…E)]]ρ      = λk. k (λ̲x′. S[[E]]ρ[x′/x](λy.y))     ``DLam``
+S[[(@^D E₀ E₁…)]]ρ   = let-wrapped dynamic application      ``DApp``
+S[[(if^D E₁ E₂ E₃)]]ρ = λk. S[[E₁]]ρ (λy₁. i̲f̲ y₁ (S[[E₂]]ρ k) (S[[E₃]]ρ k))  ``DIf``
+====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.lang.ast import (
+    App,
+    Const,
+    DApp,
+    DIf,
+    DLam,
+    DPrim,
+    Expr,
+    If,
+    Lam,
+    Let,
+    Lift,
+    Prim,
+    Var,
+)
+from repro.lang.gensym import Gensym
+from repro.lang.prims import PRIMITIVES
+from repro.pe.errors import BindingTimeError, SpecializationError
+from repro.pe.values import Dynamic, SpecClosure, Static, is_first_order
+from repro.runtime.values import datum_to_value, is_truthy, value_to_datum
+from repro.sexp.datum import Symbol
+
+Value = Static | Dynamic
+Cont = Callable[[Value], Expr]
+
+
+class Fig3Specializer:
+    """The specializer of Fig. 3, verbatim."""
+
+    def __init__(self) -> None:
+        self.gensym = Gensym("x")
+
+    # S[[E]]ρ k
+    def spec(self, e: Expr, rho: dict[Symbol, Value], k: Cont) -> Expr:
+        if isinstance(e, Const):
+            # S[[c]]ρ = λk. k c
+            return k(Static(datum_to_value(e.value)))
+
+        if isinstance(e, Var):
+            # S[[x]]ρ = λk. k (ρ x)
+            try:
+                return k(rho[e.name])
+            except KeyError:
+                raise SpecializationError(f"unbound variable {e.name}") from None
+
+        if isinstance(e, Prim):
+            # S[[(O E₁…Eₙ)]]ρ = λk. S[[E₁]]ρ (λy₁. … k ([O] y₁ … yₙ))
+            def finish(ys: list[Value]) -> Expr:
+                spec = PRIMITIVES[e.op]
+                args = []
+                for y in ys:
+                    if not isinstance(y, Static):
+                        raise BindingTimeError("dynamic arg to static prim")
+                    args.append(y.value)
+                return k(Static(spec.apply(args)))
+
+            return self._spec_seq(list(e.args), rho, finish)
+
+        if isinstance(e, Lam):
+            # S[[(λ x₁…xₙ. E)]]ρ = λk. k (λ y₁…yₙ. S[[E]]… )  — a static
+            # closure, unfolded at application time.
+            return k(Static(SpecClosure(e.params, e.body, dict(rho))))
+
+        if isinstance(e, App):
+            # S[[(@ E₀ E₁…Eₙ)]]ρ = λk. S[[E₀]]ρ (λf. S[[E₁]]ρ (λy₁. … f y₁…yₙ k))
+            def apply(vals: list[Value]) -> Expr:
+                f, args = vals[0], vals[1:]
+                if not (isinstance(f, Static) and isinstance(f.value, SpecClosure)):
+                    raise BindingTimeError("static application of non-closure")
+                clo = f.value
+                inner = dict(clo.env)
+                inner.update(zip(clo.params, args))
+                return self.spec(clo.body, inner, k)
+
+            return self._spec_seq([e.fn, *e.args], rho, apply)
+
+        if isinstance(e, Let):
+            # S[[(let (x E₁) E₂)]]ρ = λk. S[[E₁]]ρ (λy. S[[E₂]]ρ[y/x] k)
+            return self.spec(
+                e.rhs, rho, lambda y: self.spec(e.body, {**rho, e.var: y}, k)
+            )
+
+        if isinstance(e, If):
+            # Static conditional: choose the branch.
+            def choose(y: Value) -> Expr:
+                if not isinstance(y, Static):
+                    raise BindingTimeError("dynamic test in static if")
+                return self.spec(
+                    e.then if is_truthy(y.value) else e.alt, rho, k
+                )
+
+            return self.spec(e.test, rho, choose)
+
+        if isinstance(e, Lift):
+            # S[[(lift E)]]ρ = λk. S[[E]]ρ (λy. k y̲)
+            return self.spec(e.expr, rho, lambda y: k(Dynamic(self._lift(y))))
+
+        if isinstance(e, DPrim):
+            # S[[(O^D E₁…Eₙ)]]ρ = … (l̲e̲t̲ (x′ (O̲ y₁…yₙ)) k x′)
+            def wrap(ys: list[Value]) -> Expr:
+                fresh = self.gensym.fresh()
+                serious = Prim(e.op, tuple(self._code(y) for y in ys))
+                return Let(fresh, serious, k(Dynamic(Var(fresh))))
+
+            return self._spec_seq(list(e.args), rho, wrap)
+
+        if isinstance(e, DLam):
+            # S[[(λ^D x₁…xₙ. E)]]ρ = λk. k ((λ̲ x′₁…x′ₙ. S[[E]]ρ[x′ᵢ/xᵢ](λy.y)))
+            fresh = tuple(self.gensym.fresh(p) for p in e.params)
+            inner = dict(rho)
+            for p, f in zip(e.params, fresh):
+                inner[p] = Dynamic(Var(f))
+            body = self.spec(e.body, inner, self._identity)
+            return k(Dynamic(Lam(fresh, body)))
+
+        if isinstance(e, DApp):
+            # S[[(@^D E₀ E₁…Eₙ)]]ρ = … (l̲e̲t̲ (x′ (@̲ y y₁…yₙ)) k x′)
+            def wrap_app(ys: list[Value]) -> Expr:
+                fresh = self.gensym.fresh()
+                serious = App(
+                    self._code(ys[0]), tuple(self._code(y) for y in ys[1:])
+                )
+                return Let(fresh, serious, k(Dynamic(Var(fresh))))
+
+            return self._spec_seq([e.fn, *e.args], rho, wrap_app)
+
+        if isinstance(e, DIf):
+            # S[[(if^D E₁ E₂ E₃)]]ρ = λk. S[[E₁]]ρ (λy₁. (i̲f̲ y₁ (S[[E₂]]ρ k)
+            #                                                   (S[[E₃]]ρ k)))
+            def wrap_if(y: Value) -> Expr:
+                return If(
+                    self._code(y),
+                    self.spec(e.then, rho, k),
+                    self.spec(e.alt, rho, k),
+                )
+
+            return self.spec(e.test, rho, wrap_if)
+
+        raise SpecializationError(f"Fig. 3 has no rule for {type(e).__name__}")
+
+    # -- helpers --------------------------------------------------------------
+
+    def spec_expr(self, e: Expr, rho: dict[Symbol, Value] | None = None) -> Expr:
+        """Specialize a whole expression with the identity continuation."""
+        return self.spec(e, dict(rho or {}), self._identity)
+
+    def _identity(self, y: Value) -> Expr:
+        # (λy. y): the final continuation returns the code for the value.
+        return self._code(y)
+
+    def _spec_seq(
+        self, es: list[Expr], rho: dict, k: Callable[[list[Value]], Expr]
+    ) -> Expr:
+        def go(i: int, acc: list[Value]) -> Expr:
+            if i == len(es):
+                return k(acc)
+            return self.spec(es[i], rho, lambda y: go(i + 1, acc + [y]))
+
+        return go(0, [])
+
+    def _code(self, y: Value) -> Expr:
+        if isinstance(y, Dynamic):
+            return y.code
+        return self._lift(y)
+
+    def _lift(self, y: Value) -> Expr:
+        if isinstance(y, Dynamic):
+            return y.code
+        if not is_first_order(y.value):
+            raise BindingTimeError(f"cannot lift {y.value!r}")
+        datum = value_to_datum(y.value)
+        return Const(_tupleize(datum))
+
+
+def _tupleize(datum: Any) -> Any:
+    if isinstance(datum, list):
+        return tuple(_tupleize(d) for d in datum)
+    return datum

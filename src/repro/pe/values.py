@@ -1,0 +1,132 @@
+"""Specialization-time values.
+
+"During ordinary specialization there are two kinds of objects: static
+values and pieces of code." (§6.4)
+
+* :class:`Static` wraps an ordinary run-time value available at
+  specialization time (a number, a pair, a specialization-time closure).
+* :class:`Dynamic` wraps a backend handle for a piece of *trivial* residual
+  code (a variable or literal) — serious residual code is always
+  let-inserted before it reaches an environment, so dynamic environment
+  entries are trivial by construction (the specializer's ANF discipline).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.lang.ast import Expr
+from repro.runtime.values import NIL, Pair, Unspecified
+from repro.sexp.datum import Char, Symbol
+
+
+@dataclass(frozen=True, slots=True)
+class Static:
+    """A value known at specialization time."""
+
+    value: Any
+
+
+@dataclass(frozen=True, slots=True)
+class Dynamic:
+    """A piece of trivial residual code (backend handle)."""
+
+    code: Any
+
+
+class SpecClosure:
+    """A static closure: a lambda closed over a specialization environment.
+
+    Applying it at specialization time unfolds its body.
+    """
+
+    __slots__ = ("params", "body", "env", "name")
+
+    def __init__(
+        self,
+        params: tuple[Symbol, ...],
+        body: Expr,
+        env: dict,
+        name: str = "lambda",
+    ):
+        self.params = params
+        self.body = body
+        self.env = env
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"#<spec-closure {self.name}/{len(self.params)}>"
+
+
+# Static closures answer #t to procedure? during specialization.
+from repro.lang.prims import register_procedure_type  # noqa: E402
+
+register_procedure_type(SpecClosure)
+
+
+def is_first_order(value: Any) -> bool:
+    """True if ``value`` can be lifted to a residual constant.
+
+    Closures cannot be lifted (§3's lift coerces *first-order* values);
+    binding-time analysis must have made such lambdas dynamic instead.
+    """
+    if isinstance(value, (bool, int, float, str, Char, Symbol, Unspecified)):
+        return True
+    if value is NIL:
+        return True
+    if isinstance(value, Pair):
+        return is_first_order(value.car) and is_first_order(value.cdr)
+    return False
+
+
+def freeze_static(value: Any) -> Any:
+    """A hashable key for a static value (for the memoization table)."""
+    if isinstance(value, Pair):
+        items = []
+        node: Any = value
+        while isinstance(node, Pair):
+            items.append(freeze_static(node.car))
+            node = node.cdr
+        return ("list", tuple(items), freeze_static(node))
+    if value is NIL:
+        return ("nil",)
+    if isinstance(value, Unspecified):
+        return ("unspecified",)
+    if isinstance(value, SpecClosure):
+        # Static closures in memo keys: identity-based.  Two different
+        # closure instances specialize separately.
+        return ("closure", id(value))
+    return (type(value).__name__, value)
+
+
+class FreezeCache:
+    """Identity-memoized :func:`freeze_static`.
+
+    Static structures (an interpreter's program, say) are widely shared
+    and re-frozen at every memoization point; pairs are immutable in this
+    system, so caching by identity is sound.  The cache holds references
+    to the pairs it has seen, so ids cannot be recycled underneath it.
+    """
+
+    __slots__ = ("_by_id", "_keep")
+
+    def __init__(self) -> None:
+        self._by_id: dict[int, Any] = {}
+        self._keep: list = []
+
+    def freeze(self, value: Any) -> Any:
+        if isinstance(value, Pair):
+            key = id(value)
+            hit = self._by_id.get(key)
+            if hit is None:
+                items = []
+                node: Any = value
+                while isinstance(node, Pair):
+                    items.append(self.freeze(node.car))
+                    node = node.cdr
+                hit = ("list", tuple(items), self.freeze(node))
+                self._by_id[key] = hit
+                self._keep.append(value)
+            return hit
+        return freeze_static(value)

@@ -1,0 +1,129 @@
+"""Top-level API of the composed partial-evaluation / compilation system."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from typing import TYPE_CHECKING
+
+from repro.compiler.fusion import ObjectCodeBackend
+from repro.lang.ast import Program
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pe.cogen import CompiledGeneratingExtension
+from repro.lang.parser import parse_program
+from repro.pe.backend import ResidualProgram, SourceBackend
+from repro.pe.bta import BTAResult, analyze
+from repro.pe.specializer import Specializer
+
+
+class GeneratingExtension:
+    """A generating extension p-gen for a program p (§3).
+
+    Built once from a program and a binding-time signature (the expensive
+    part: front end + binding-time analysis), then applied any number of
+    times to static inputs, producing residual programs — as source
+    (``to_source``) or directly as executable object code
+    (``to_object_code``), the paper's run-time code generation.
+    """
+
+    def __init__(
+        self,
+        program: Program | str,
+        signature: str,
+        goal: str | None = None,
+        memo_hints: Iterable[str] = (),
+        unfold_hints: Iterable[str] = (),
+    ):
+        if isinstance(program, str):
+            program = parse_program(program, goal=goal)
+        self.program = program
+        self.signature = signature
+        self.bta: BTAResult = analyze(
+            program, signature, memo_hints=memo_hints, unfold_hints=unfold_hints
+        )
+
+    def compiled(self) -> "CompiledGeneratingExtension":
+        """Compile this generating extension (the cogen path, [59]).
+
+        The returned object maps static input to residual code without
+        re-traversing the annotated program; building it corresponds to
+        Fig. 8's "Load" column (loading/compiling the generator).
+        """
+        from repro.pe.cogen import compile_generating_extension
+
+        return compile_generating_extension(self.bta.annotated)
+
+    def to_source(
+        self, static_args: Sequence[Any], dif_strategy: str = "duplicate"
+    ) -> ResidualProgram:
+        """Generate a residual *source* program (classical PE)."""
+        return Specializer(
+            self.bta.annotated, SourceBackend(), dif_strategy=dif_strategy
+        ).run(static_args)
+
+    def to_object_code(
+        self, static_args: Sequence[Any], dif_strategy: str = "duplicate"
+    ) -> ResidualProgram:
+        """Generate residual *object code* directly (the fused system)."""
+        return Specializer(
+            self.bta.annotated, ObjectCodeBackend(), dif_strategy=dif_strategy
+        ).run(static_args)
+
+    def __call__(self, static_args: Sequence[Any]) -> ResidualProgram:
+        return self.to_object_code(static_args)
+
+
+def make_generating_extension(
+    program: Program | str,
+    signature: str,
+    goal: str | None = None,
+    memo_hints: Iterable[str] = (),
+    unfold_hints: Iterable[str] = (),
+) -> GeneratingExtension:
+    """Build a generating extension (BTA happens here, once)."""
+    return GeneratingExtension(
+        program, signature, goal=goal, memo_hints=memo_hints,
+        unfold_hints=unfold_hints,
+    )
+
+
+def specialize_to_source(
+    program: Program | str,
+    signature: str,
+    static_args: Sequence[Any],
+    goal: str | None = None,
+    **kwargs: Any,
+) -> ResidualProgram:
+    """One-shot: residual source program for the given static input."""
+    return make_generating_extension(
+        program, signature, goal=goal, **kwargs
+    ).to_source(static_args)
+
+
+def specialize_to_object_code(
+    program: Program | str,
+    signature: str,
+    static_args: Sequence[Any],
+    goal: str | None = None,
+    **kwargs: Any,
+) -> ResidualProgram:
+    """One-shot: executable object code for the given static input."""
+    return make_generating_extension(
+        program, signature, goal=goal, **kwargs
+    ).to_object_code(static_args)
+
+
+def run_specialized(
+    program: Program | str,
+    signature: str,
+    static_args: Sequence[Any],
+    dynamic_args: Sequence[Any],
+    goal: str | None = None,
+    **kwargs: Any,
+) -> Any:
+    """Classic RTCG: generate code for the static input and run it."""
+    residual = specialize_to_object_code(
+        program, signature, static_args, goal=goal, **kwargs
+    )
+    return residual.run(dynamic_args)

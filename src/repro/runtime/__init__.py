@@ -1,0 +1,34 @@
+"""Run-time value model and errors shared by the interpreter and the VM."""
+
+from repro.runtime.errors import PrimitiveError, SchemeError
+from repro.runtime.values import (
+    NIL,
+    Nil,
+    Pair,
+    Unspecified,
+    UNSPECIFIED,
+    datum_to_value,
+    is_list,
+    is_truthy,
+    scheme_eqv,
+    scheme_equal,
+    scheme_list,
+    value_to_datum,
+)
+
+__all__ = [
+    "NIL",
+    "Nil",
+    "Pair",
+    "PrimitiveError",
+    "SchemeError",
+    "UNSPECIFIED",
+    "Unspecified",
+    "datum_to_value",
+    "is_list",
+    "is_truthy",
+    "scheme_eqv",
+    "scheme_equal",
+    "scheme_list",
+    "value_to_datum",
+]

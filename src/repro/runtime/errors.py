@@ -1,0 +1,15 @@
+"""Errors raised by Scheme evaluation (interpreter, primitives, and VM)."""
+
+from __future__ import annotations
+
+
+class SchemeError(Exception):
+    """A run-time error in evaluated Scheme code (including ``(error ...)``)."""
+
+
+class PrimitiveError(SchemeError):
+    """A primitive was applied to arguments outside its domain."""
+
+    def __init__(self, op: str, message: str):
+        super().__init__(f"{op}: {message}")
+        self.op = op

@@ -1,0 +1,33 @@
+"""S-expression substrate: symbols, reading, and writing.
+
+Scheme data is represented with plain Python values:
+
+* symbols       -- interned :class:`Symbol` objects
+* numbers       -- ``int`` / ``float``
+* booleans      -- ``bool``  (checked *before* ``int`` everywhere)
+* strings       -- ``str``
+* characters    -- :class:`Char`
+* proper lists  -- Python ``list``  (the reader never produces dotted pairs
+                   at the datum level; ``cons`` pairs only exist as run-time
+                   values inside the interpreter and VM)
+* empty list    -- the empty Python ``list``
+
+This keeps the front end simple and hashable-enough for memoization while
+the run-time value model (:mod:`repro.interp.values`) supports real mutable
+pairs.
+"""
+
+from repro.sexp.datum import Char, Symbol, is_self_evaluating, sym
+from repro.sexp.reader import ReaderError, read, read_all
+from repro.sexp.writer import write
+
+__all__ = [
+    "Char",
+    "ReaderError",
+    "Symbol",
+    "is_self_evaluating",
+    "read",
+    "read_all",
+    "sym",
+    "write",
+]

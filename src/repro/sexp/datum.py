@@ -1,0 +1,67 @@
+"""Datum model: interned symbols and characters."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class Symbol:
+    """An interned Scheme symbol.
+
+    Symbols compare (and hash) by identity, which the interning in
+    :func:`sym` makes equivalent to comparing by name.  Use :func:`sym` to
+    obtain instances; the constructor is not meant to be called directly
+    except by the intern table.
+    """
+
+    __slots__ = ("name",)
+    _table: dict[str, "Symbol"] = {}
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Symbol({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+    # Identity-based equality/hash are inherited from object; interning
+    # makes them agree with name equality.
+
+
+def sym(name: str) -> Symbol:
+    """Return the unique :class:`Symbol` with the given name."""
+    table = Symbol._table
+    s = table.get(name)
+    if s is None:
+        s = Symbol(name)
+        table[name] = s
+    return s
+
+
+class Char:
+    """A Scheme character, e.g. ``#\\a`` or ``#\\newline``."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: str):
+        if len(value) != 1:
+            raise ValueError(f"Char needs a single character, got {value!r}")
+        self.value = value
+
+    def __eq__(self, other: Any) -> bool:
+        return isinstance(other, Char) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("char", self.value))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Char({self.value!r})"
+
+
+def is_self_evaluating(datum: Any) -> bool:
+    """True for data that evaluate to themselves in Scheme source."""
+    if isinstance(datum, bool):
+        return True
+    return isinstance(datum, (int, float, str, Char))

@@ -1,0 +1,227 @@
+"""A reader (parser) for s-expressions.
+
+Supports the subset of R4RS datum syntax our Scheme front end needs:
+proper lists, symbols, exact integers, floats, strings, booleans,
+characters, ``quote``/``quasiquote``/``unquote`` shorthands, and ``;``
+comments.  Dotted pairs are rejected — the language front end works on
+proper lists only.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sexp.datum import Char, Symbol, sym
+
+_DELIMITERS = set("()[]\"; \t\n\r")
+
+_NAMED_CHARS = {
+    "space": " ",
+    "newline": "\n",
+    "tab": "\t",
+    "nul": "\0",
+    "return": "\r",
+}
+
+_CHAR_NAMES = {v: k for k, v in _NAMED_CHARS.items()}
+
+
+class ReaderError(ValueError):
+    """Raised on malformed input, with a position for diagnostics."""
+
+    def __init__(self, message: str, position: int):
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+class _Reader:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    # -- low-level scanning ------------------------------------------------
+
+    def _peek(self) -> str:
+        if self.pos < len(self.text):
+            return self.text[self.pos]
+        return ""
+
+    def _next(self) -> str:
+        ch = self._peek()
+        self.pos += 1
+        return ch
+
+    def _skip_atmosphere(self) -> None:
+        text = self.text
+        while self.pos < len(text):
+            ch = text[self.pos]
+            if ch in " \t\n\r\f":
+                self.pos += 1
+            elif ch == ";":
+                while self.pos < len(text) and text[self.pos] != "\n":
+                    self.pos += 1
+            elif ch == "#" and text.startswith("#|", self.pos):
+                depth = 1
+                self.pos += 2
+                while self.pos < len(text) and depth:
+                    if text.startswith("#|", self.pos):
+                        depth += 1
+                        self.pos += 2
+                    elif text.startswith("|#", self.pos):
+                        depth -= 1
+                        self.pos += 2
+                    else:
+                        self.pos += 1
+                if depth:
+                    raise ReaderError("unterminated block comment", self.pos)
+            else:
+                return
+
+    # -- datum parsing -----------------------------------------------------
+
+    def read(self) -> Any:
+        self._skip_atmosphere()
+        if self.pos >= len(self.text):
+            raise ReaderError("unexpected end of input", self.pos)
+        ch = self._peek()
+        if ch == "(" or ch == "[":
+            return self._read_list(")" if ch == "(" else "]")
+        if ch == ")" or ch == "]":
+            raise ReaderError("unexpected closing parenthesis", self.pos)
+        if ch == "'":
+            self._next()
+            return [sym("quote"), self.read()]
+        if ch == "`":
+            self._next()
+            return [sym("quasiquote"), self.read()]
+        if ch == ",":
+            self._next()
+            if self._peek() == "@":
+                self._next()
+                return [sym("unquote-splicing"), self.read()]
+            return [sym("unquote"), self.read()]
+        if ch == '"':
+            return self._read_string()
+        if ch == "#":
+            return self._read_hash()
+        return self._read_atom()
+
+    def _read_list(self, closer: str) -> list:
+        start = self.pos
+        self._next()  # opening paren
+        items: list[Any] = []
+        while True:
+            self._skip_atmosphere()
+            if self.pos >= len(self.text):
+                raise ReaderError("unterminated list", start)
+            ch = self._peek()
+            if ch in ")]":
+                if ch != closer:
+                    raise ReaderError("mismatched bracket", self.pos)
+                self._next()
+                return items
+            if ch == "." and self._is_lone_dot():
+                raise ReaderError("dotted pairs are not supported", self.pos)
+            items.append(self.read())
+
+    def _is_lone_dot(self) -> bool:
+        nxt = self.pos + 1
+        return nxt >= len(self.text) or self.text[nxt] in _DELIMITERS
+
+    def _read_string(self) -> str:
+        start = self.pos
+        self._next()  # opening quote
+        chunks: list[str] = []
+        while True:
+            if self.pos >= len(self.text):
+                raise ReaderError("unterminated string", start)
+            ch = self._next()
+            if ch == '"':
+                return "".join(chunks)
+            if ch == "\\":
+                esc = self._next()
+                if esc == "n":
+                    chunks.append("\n")
+                elif esc == "t":
+                    chunks.append("\t")
+                elif esc in ('"', "\\"):
+                    chunks.append(esc)
+                else:
+                    raise ReaderError(f"bad string escape \\{esc}", self.pos)
+            else:
+                chunks.append(ch)
+
+    def _read_hash(self) -> Any:
+        start = self.pos
+        self._next()  # '#'
+        ch = self._next()
+        if ch == "t":
+            return True
+        if ch == "f":
+            return False
+        if ch == "\\":
+            return self._read_char()
+        raise ReaderError(f"unsupported # syntax: #{ch}", start)
+
+    def _read_char(self) -> Char:
+        start = self.pos
+        if self.pos >= len(self.text):
+            raise ReaderError("unterminated character", start)
+        first = self._next()
+        name = first
+        while self._peek() and self._peek() not in _DELIMITERS:
+            name += self._next()
+        if len(name) == 1:
+            return Char(name)
+        lowered = name.lower()
+        if lowered in _NAMED_CHARS:
+            return Char(_NAMED_CHARS[lowered])
+        raise ReaderError(f"unknown character name #\\{name}", start)
+
+    def _read_atom(self) -> Any:
+        start = self.pos
+        while self._peek() and self._peek() not in _DELIMITERS:
+            self._next()
+        token = self.text[start : self.pos]
+        if not token:
+            raise ReaderError("empty token", start)
+        return _atom_from_token(token)
+
+
+def _atom_from_token(token: str) -> Any:
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        value = float(token)
+    except ValueError:
+        return sym(token)
+    # '.' alone and '+'/'-' parse as symbols, not floats.
+    if token in ("+", "-", "...", "."):
+        return sym(token)
+    return value
+
+
+def read(text: str) -> Any:
+    """Read a single datum from ``text``; trailing input is an error."""
+    reader = _Reader(text)
+    datum = reader.read()
+    reader._skip_atmosphere()
+    if reader.pos < len(text):
+        raise ReaderError("trailing input after datum", reader.pos)
+    return datum
+
+
+def read_all(text: str) -> list:
+    """Read every datum in ``text``, returning them as a list."""
+    reader = _Reader(text)
+    data: list[Any] = []
+    while True:
+        reader._skip_atmosphere()
+        if reader.pos >= len(text):
+            return data
+        data.append(reader.read())
+
+
+_ = Symbol  # re-exported type for annotations in client modules

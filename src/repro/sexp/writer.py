@@ -1,0 +1,52 @@
+"""A writer (printer) for s-expressions: the inverse of the reader."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.sexp.datum import Char, Symbol
+from repro.sexp.reader import _CHAR_NAMES
+
+
+def write(datum: Any) -> str:
+    """Render ``datum`` so that ``read(write(d)) == d``."""
+    chunks: list[str] = []
+    _write_into(datum, chunks)
+    return "".join(chunks)
+
+
+def _write_into(datum: Any, out: list[str]) -> None:
+    if isinstance(datum, bool):
+        out.append("#t" if datum else "#f")
+    elif isinstance(datum, Symbol):
+        out.append(datum.name)
+    elif isinstance(datum, int):
+        out.append(repr(datum))
+    elif isinstance(datum, float):
+        out.append(repr(datum))
+    elif isinstance(datum, str):
+        out.append(_write_string(datum))
+    elif isinstance(datum, Char):
+        out.append(_write_char(datum))
+    elif isinstance(datum, (list, tuple)):
+        out.append("(")
+        for i, item in enumerate(datum):
+            if i:
+                out.append(" ")
+            _write_into(item, out)
+        out.append(")")
+    else:
+        raise TypeError(f"cannot write datum of type {type(datum).__name__}")
+
+
+def _write_string(text: str) -> str:
+    body = text.replace("\\", "\\\\").replace('"', '\\"')
+    body = body.replace("\n", "\\n").replace("\t", "\\t")
+    return f'"{body}"'
+
+
+def _write_char(ch: Char) -> str:
+    name = _CHAR_NAMES.get(ch.value)
+    if name is not None:
+        return f"#\\{name}"
+    return f"#\\{ch.value}"

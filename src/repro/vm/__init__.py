@@ -1,0 +1,49 @@
+"""The bytecode virtual machine substrate.
+
+A stack machine with closures and templates in the style of the Scheme 48
+VM [32]: a *template* is a code vector plus a literal frame; object code is
+first built as an abstract representation (:mod:`repro.vm.fragments`, the
+constructors a compilator uses) and then *relocated* — linearized, labels
+resolved, literals interned — into an executable template by
+:mod:`repro.vm.assembler`, exactly the two-stage shape §6.1 describes.
+"""
+
+from repro.vm.assembler import assemble
+from repro.vm.disasm import disassemble
+from repro.vm.fragments import (
+    EMPTY,
+    Fragment,
+    Instr,
+    Label,
+    Lit,
+    Seq,
+    attach_label,
+    instruction,
+    instruction_using_label,
+    make_label,
+    sequentially,
+)
+from repro.vm.instructions import Op
+from repro.vm.machine import Machine, VmClosure, VMError
+from repro.vm.template import Template
+
+__all__ = [
+    "EMPTY",
+    "Fragment",
+    "Instr",
+    "Label",
+    "Lit",
+    "Machine",
+    "Op",
+    "Seq",
+    "Template",
+    "VMError",
+    "VmClosure",
+    "assemble",
+    "attach_label",
+    "disassemble",
+    "instruction",
+    "instruction_using_label",
+    "make_label",
+    "sequentially",
+]

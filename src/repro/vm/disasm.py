@@ -1,0 +1,40 @@
+"""A disassembler for templates, for debugging and for tests."""
+
+from __future__ import annotations
+
+from repro.lang.prims import PrimSpec
+from repro.vm.instructions import BRANCH_OPS, LITERAL_COUNT_OPS, LITERAL_OPERAND_OPS, Op
+from repro.vm.template import Template
+
+
+def disassemble(template: Template, indent: str = "") -> str:
+    """Render ``template`` (and nested templates) as readable text."""
+    lines = [
+        f"{indent}template {template.name}/{template.arity}"
+        f" nlocals={template.nlocals}"
+    ]
+    for pc, instr in enumerate(template.code):
+        op = Op(instr[0])
+        rendered = [op.name]
+        if op in LITERAL_OPERAND_OPS:
+            rendered.append(_literal(template.literals[instr[1]]))
+        elif op in LITERAL_COUNT_OPS:
+            rendered.append(_literal(template.literals[instr[1]]))
+            rendered.append(str(instr[2]))
+        elif op in BRANCH_OPS:
+            rendered.append(f"-> {instr[1]}")
+        else:
+            rendered.extend(str(x) for x in instr[1:])
+        lines.append(f"{indent}  {pc:4} {' '.join(rendered)}")
+    for lit in template.literals:
+        if isinstance(lit, Template):
+            lines.append(disassemble(lit, indent + "    "))
+    return "\n".join(lines)
+
+
+def _literal(value) -> str:
+    if isinstance(value, Template):
+        return f"<template {value.name}>"
+    if isinstance(value, PrimSpec):
+        return f"<prim {value.name}>"
+    return repr(value)

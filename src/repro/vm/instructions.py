@@ -1,0 +1,42 @@
+"""The VM instruction set.
+
+A register ``val`` holds the current value; each frame has an operand stack
+for arguments under construction and a vector of local slots (parameters
+first, then ``let``-allocated temporaries — the compiler's ``depth``
+parameter tracks the next free slot, as in the Scheme 48 compiler).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum, auto
+
+
+class Op(IntEnum):
+    """Opcodes.  Operand meanings are given per opcode."""
+
+    CONST = auto()            # k       : val <- literals[k]
+    LOCAL = auto()            # i       : val <- locals[i]
+    CLOSED = auto()           # i       : val <- closure.env[i]
+    GLOBAL = auto()           # k       : val <- globals[literals[k]]
+    PUSH = auto()             #         : push val onto the operand stack
+    SETLOC = auto()           # i       : locals[i] <- val
+    PRIM = auto()             # k n     : pop n args; val <- literals[k](args)
+    MAKE_CLOSURE = auto()     # k n     : pop n values; val <- closure(literals[k], values)
+    JUMP = auto()             # t       : pc <- t
+    JUMP_IF_FALSE = auto()    # t       : if val is #f then pc <- t
+    CALL = auto()             # n       : pop n args + operator; push return continuation
+    TAIL_CALL = auto()        # n       : pop n args + operator; reuse the frame
+    RETURN = auto()           #         : pop continuation (or halt with val)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.name
+
+
+# Opcodes whose single operand is a literal-frame index.
+LITERAL_OPERAND_OPS = frozenset({Op.CONST, Op.GLOBAL})
+
+# Opcodes whose first operand is a literal-frame index and second is a count.
+LITERAL_COUNT_OPS = frozenset({Op.PRIM, Op.MAKE_CLOSURE})
+
+# Opcodes whose operand is a jump target.
+BRANCH_OPS = frozenset({Op.JUMP, Op.JUMP_IF_FALSE})

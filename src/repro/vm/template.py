@@ -1,0 +1,37 @@
+"""Executable templates: the unit of object code.
+
+A template is what Scheme 48 calls a template: a flat code vector plus a
+literal frame.  ``MAKE_CLOSURE`` instructions reference nested templates
+through the literal frame.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Tuple
+
+
+@dataclass(frozen=True, slots=True)
+class Template:
+    """Assembled, executable object code for one procedure body."""
+
+    code: Tuple[tuple, ...]       # (op, operand, ...) tuples, targets resolved
+    literals: Tuple[Any, ...]     # constants, symbols, prim specs, templates
+    arity: int                    # number of parameters
+    nlocals: int                  # total local slots (params + temporaries)
+    name: str = "anonymous"       # for diagnostics
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"#<template {self.name}/{self.arity}"
+            f" {len(self.code)} instrs, {len(self.literals)} literals>"
+        )
+
+    def instruction_count(self, recursive: bool = True) -> int:
+        """Number of instructions, optionally including nested templates."""
+        count = len(self.code)
+        if recursive:
+            for lit in self.literals:
+                if isinstance(lit, Template):
+                    count += lit.instruction_count(recursive=True)
+        return count

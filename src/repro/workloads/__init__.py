@@ -1,0 +1,50 @@
+"""The benchmark workloads of §7.
+
+"For our benchmarks, we used two standard examples for compilation by
+partial evaluation: an interpreter for a small first-order functional
+language called MIXWELL, and one for a small lazy functional language
+called LAZY, both taken from the Similix distribution.  The MIXWELL
+interpreter is 93 lines long and was run on a 62-line input program, the
+LAZY interpreter has 127 lines of code and was run on a 26-line input
+program."
+
+The Similix distribution is not available; these are interpreters of the
+same language classes and sizes written for this reproduction (see
+DESIGN.md's substitution table).
+"""
+
+from repro.workloads.mixwell import (
+    MIXWELL_GOAL,
+    MIXWELL_SIGNATURE,
+    MIXWELL_SOURCE,
+    MIXWELL_TM_PROGRAM,
+    mixwell_interpreter,
+    mixwell_tm_program,
+    run_mixwell,
+)
+from repro.workloads.lazy import (
+    LAZY_GOAL,
+    LAZY_PRIMES_PROGRAM,
+    LAZY_SIGNATURE,
+    LAZY_SOURCE,
+    lazy_interpreter,
+    lazy_primes_program,
+    run_lazy,
+)
+
+__all__ = [
+    "LAZY_GOAL",
+    "LAZY_PRIMES_PROGRAM",
+    "LAZY_SIGNATURE",
+    "LAZY_SOURCE",
+    "MIXWELL_GOAL",
+    "MIXWELL_SIGNATURE",
+    "MIXWELL_SOURCE",
+    "MIXWELL_TM_PROGRAM",
+    "lazy_interpreter",
+    "lazy_primes_program",
+    "mixwell_interpreter",
+    "mixwell_tm_program",
+    "run_lazy",
+    "run_mixwell",
+]

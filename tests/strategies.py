@@ -1,0 +1,128 @@
+"""Hypothesis strategies for random Scheme data and programs.
+
+The expression strategies only generate *terminating, error-free* programs:
+closed expressions over total primitives, with conditionals and bounded
+recursion via a fuel parameter, so differential tests (interpreter vs VM vs
+specializer) never hit divergence.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.sexp.datum import Char, sym
+
+# -- data ---------------------------------------------------------------------
+
+symbol_names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz-<>=?*+!",
+    min_size=1,
+    max_size=8,
+).filter(lambda s: not s[0].isdigit() and s not in (".", "+", "-", "..."))
+
+symbols = symbol_names.map(sym)
+
+atoms = st.one_of(
+    st.integers(min_value=-(2**40), max_value=2**40),
+    st.booleans(),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(alphabet=st.characters(codec="ascii", exclude_characters='"\\\x00'),
+            max_size=10),
+    symbols,
+    st.sampled_from([Char("a"), Char(" "), Char("\n"), Char("z")]),
+)
+
+data = st.recursive(
+    atoms,
+    lambda children: st.lists(children, max_size=5),
+    max_leaves=25,
+)
+
+# -- expressions ----------------------------------------------------------------
+# Generated as source text for readability of failure messages.
+
+_INT = st.integers(min_value=-100, max_value=100)
+
+
+@st.composite
+def arith_exprs(draw, depth: int = 3, env: tuple = ()):  # type: ignore[no-untyped-def]
+    """Closed, total arithmetic/boolean expressions as source strings."""
+    if depth == 0 or draw(st.booleans()):
+        if env and draw(st.booleans()):
+            return draw(st.sampled_from(env))
+        return str(draw(_INT))
+    kind = draw(
+        st.sampled_from(
+            ["+", "-", "*", "if", "let", "cmp", "zero?", "max", "min"]
+        )
+    )
+    sub = lambda: draw(arith_exprs(depth=depth - 1, env=env))  # noqa: E731
+    if kind in ("+", "-", "*", "max", "min"):
+        return f"({kind} {sub()} {sub()})"
+    if kind == "cmp":
+        op = draw(st.sampled_from(["=", "<", ">", "<=", ">="]))
+        return f"(if ({op} {sub()} {sub()}) {sub()} {sub()})"
+    if kind == "zero?":
+        return f"(if (zero? {sub()}) {sub()} {sub()})"
+    if kind == "if":
+        return f"(if {draw(st.booleans()) and '#t' or '#f'} {sub()} {sub()})"
+    # let
+    var = f"x{draw(st.integers(min_value=0, max_value=20))}"
+    body = draw(arith_exprs(depth=depth - 1, env=env + (var,)))
+    return f"(let (({var} {sub()})) {body})"
+
+
+@st.composite
+def list_exprs(draw, depth: int = 3):  # type: ignore[no-untyped-def]
+    """Closed expressions over lists of small integers."""
+    if depth == 0:
+        items = draw(st.lists(_INT, max_size=4))
+        return "(list " + " ".join(str(i) for i in items) + ")"
+    kind = draw(st.sampled_from(["cons", "append", "reverse", "cdr-safe", "base"]))
+    sub = lambda: draw(list_exprs(depth=depth - 1))  # noqa: E731
+    if kind == "cons":
+        return f"(cons {draw(_INT)} {sub()})"
+    if kind == "append":
+        return f"(append {sub()} {sub()})"
+    if kind == "reverse":
+        return f"(reverse {sub()})"
+    if kind == "cdr-safe":
+        inner = sub()
+        return f"(let ((l {inner})) (if (pair? l) (cdr l) l))"
+    items = draw(st.lists(_INT, max_size=4))
+    return "(list " + " ".join(str(i) for i in items) + ")"
+
+
+@st.composite
+def higher_order_exprs(draw, depth: int = 3, env: tuple = ()):  # type: ignore[no-untyped-def]
+    """Closed expressions with lambdas and applications (always terminating)."""
+    if depth == 0:
+        if env and draw(st.booleans()):
+            return draw(st.sampled_from(env))
+        return str(draw(_INT))
+    kind = draw(st.sampled_from(["apply1", "apply2", "arith", "let", "base"]))
+    if kind == "apply1":
+        var = f"a{draw(st.integers(min_value=0, max_value=20))}"
+        body = draw(higher_order_exprs(depth=depth - 1, env=env + (var,)))
+        arg = draw(higher_order_exprs(depth=depth - 1, env=env))
+        return f"((lambda ({var}) {body}) {arg})"
+    if kind == "apply2":
+        v1 = f"b{draw(st.integers(min_value=0, max_value=20))}"
+        v2 = f"c{draw(st.integers(min_value=0, max_value=20))}"
+        body = draw(higher_order_exprs(depth=depth - 1, env=env + (v1, v2)))
+        a1 = draw(higher_order_exprs(depth=depth - 1, env=env))
+        a2 = draw(higher_order_exprs(depth=depth - 1, env=env))
+        return f"((lambda ({v1} {v2}) {body}) {a1} {a2})"
+    if kind == "arith":
+        op = draw(st.sampled_from(["+", "-", "*"]))
+        a = draw(higher_order_exprs(depth=depth - 1, env=env))
+        b = draw(higher_order_exprs(depth=depth - 1, env=env))
+        return f"({op} {a} {b})"
+    if kind == "let":
+        var = f"d{draw(st.integers(min_value=0, max_value=20))}"
+        rhs = draw(higher_order_exprs(depth=depth - 1, env=env))
+        body = draw(higher_order_exprs(depth=depth - 1, env=env + (var,)))
+        return f"(let (({var} {rhs})) {body})"
+    if env and draw(st.booleans()):
+        return draw(st.sampled_from(env))
+    return str(draw(_INT))

@@ -1,0 +1,127 @@
+"""Tests for the ANF grammar checker and converter."""
+
+import pytest
+from hypothesis import given
+
+from repro.anf import anf_convert, anf_convert_program, check_anf, is_anf
+from repro.anf.grammar import ANFViolation
+from repro.interp import Interpreter, run_program
+from repro.lang import parse_expr, parse_program
+from tests.strategies import arith_exprs, higher_order_exprs, list_exprs
+
+
+class TestGrammar:
+    def test_trivial_values_are_anf(self):
+        for src in ("1", "x", "(lambda (x) x)", "'(a b)"):
+            assert is_anf(parse_expr(src))
+
+    def test_let_of_call_is_anf(self):
+        assert is_anf(parse_expr("(let ((x (f 1 2))) x)"))
+
+    def test_let_of_prim_is_anf(self):
+        assert is_anf(parse_expr("(let ((x (+ 1 2))) x)"))
+
+    def test_tail_call_is_anf(self):
+        assert is_anf(parse_expr("(f 1 2)"))
+
+    def test_if_with_trivial_test_is_anf(self):
+        assert is_anf(parse_expr("(if x (f x) (g x))"))
+
+    def test_nested_call_not_anf(self):
+        assert not is_anf(parse_expr("(f (g 1))"))
+
+    def test_serious_if_test_not_anf(self):
+        assert not is_anf(parse_expr("(if (f 1) 2 3)"))
+
+    def test_serious_let_rhs_chain_not_anf(self):
+        assert not is_anf(parse_expr("(let ((x (let ((y 1)) y))) x)"))
+
+    def test_prim_with_serious_arg_not_anf(self):
+        assert not is_anf(parse_expr("(+ 1 (f 2))"))
+
+    def test_lambda_bodies_checked(self):
+        assert not is_anf(parse_expr("(lambda (x) (f (g x)))"))
+
+    def test_check_raises_with_offender(self):
+        with pytest.raises(ANFViolation):
+            check_anf(parse_expr("(f (g 1))"))
+
+
+class TestConversion:
+    def test_nested_calls_named(self):
+        out = anf_convert(parse_expr("(f (g 1) (h 2))"))
+        assert is_anf(out)
+
+    def test_deeply_nested(self):
+        out = anf_convert(parse_expr("(+ (* (- 1 2) 3) (if (< 4 5) (f 6) 7))"))
+        assert is_anf(out)
+
+    def test_if_in_argument_position(self):
+        src = "(+ 1 (if (< 2 3) 10 20))"
+        out = anf_convert(parse_expr(src))
+        assert is_anf(out)
+        assert Interpreter().eval(out, None) == 11
+
+    def test_conversion_idempotent_on_anf(self):
+        e = parse_expr("(let ((x (+ 1 2))) (f x))")
+        assert anf_convert(e) == e
+
+    def test_program_conversion(self):
+        p = parse_program(
+            "(define (f x) (+ (* x x) (* 2 x)))"
+        )
+        out = anf_convert_program(p)
+        from repro.anf import is_anf_program
+
+        assert is_anf_program(out)
+        assert run_program(out, [5]) == run_program(p, [5]) == 35
+
+    @given(arith_exprs())
+    def test_arith_preserved(self, source):
+        e = parse_expr(source)
+        out = anf_convert(e)
+        assert is_anf(out)
+        interp = Interpreter()
+        assert interp.eval(out, None) == interp.eval(e, None)
+
+    @given(list_exprs())
+    def test_lists_preserved(self, source):
+        from repro.runtime.values import scheme_equal
+
+        e = parse_expr(source)
+        out = anf_convert(e)
+        assert is_anf(out)
+        interp = Interpreter()
+        assert scheme_equal(interp.eval(out, None), interp.eval(e, None))
+
+    @given(higher_order_exprs())
+    def test_higher_order_preserved(self, source):
+        e = parse_expr(source)
+        out = anf_convert(e)
+        assert is_anf(out)
+        interp = Interpreter()
+        assert interp.eval(out, None) == interp.eval(e, None)
+
+    def test_hoisting_does_not_capture(self):
+        # Regression: a let in argument position is hoisted over the
+        # operator; with duplicate names this used to capture the
+        # lambda's free variable.
+        src = "(let ((d 1)) ((lambda (a) (+ 0 d)) (let ((d 0)) 0)))"
+        e = parse_expr(src)
+        out = anf_convert(e)
+        assert is_anf(out)
+        interp = Interpreter()
+        assert interp.eval(out, None) == interp.eval(e, None) == 1
+
+    def test_shadowed_names_renamed_before_conversion(self):
+        src = "(let ((x 1)) (let ((x (+ x 1))) ((lambda (x) (* x 10)) x)))"
+        e = parse_expr(src)
+        out = anf_convert(e)
+        assert is_anf(out)
+        assert Interpreter().eval(out, None) == 20
+
+    def test_evaluation_order_preserved(self, capsys):
+        src = '(+ (let ((a (begin (display "1") 1))) a) (begin (display "2") 2))'
+        e = parse_expr(src)
+        Interpreter().eval(anf_convert(e), None)
+        assert capsys.readouterr().out == "12"

@@ -1,0 +1,224 @@
+"""Tests for the binding-time analysis."""
+
+import pytest
+
+from repro.lang import DApp, DIf, DLam, DPrim, Lam, Lift, MemoCall, Prim, parse_program, walk
+from repro.pe import BindingTime, BindingTimeError, analyze, parse_signature
+from repro.pe.bta import prepare
+from repro.sexp import sym
+
+S, D = BindingTime.STATIC, BindingTime.DYNAMIC
+
+
+def ann_body(src, signature, goal=None, **kw):
+    program = parse_program(src, goal=goal)
+    res = analyze(program, signature, **kw)
+    return res, res.annotated.goal_def().body
+
+
+class TestSignature:
+    def test_parse_signature(self):
+        assert parse_signature("SD s d") == (S, D, S, D)
+
+    def test_bad_signature_char(self):
+        with pytest.raises(ValueError):
+            parse_signature("SX")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(BindingTimeError, match="arity"):
+            analyze(parse_program("(define (f x) x)"), "SS")
+
+
+class TestBasicDivisions:
+    def test_fully_static_prim_stays_static(self):
+        res, body = ann_body("(define (f s d) (+ d (* s s)))", "SD")
+        # (* s s) static → appears under a lift; (+ d ...) dynamic.
+        assert any(isinstance(n, Lift) for n in walk(body))
+        assert any(isinstance(n, DPrim) and n.op is sym("+") for n in walk(body))
+        assert not any(isinstance(n, DPrim) and n.op is sym("*") for n in walk(body))
+
+    def test_dynamic_poisons_upward(self):
+        res, body = ann_body("(define (f s d) (* s (+ s d)))", "SD")
+        assert any(isinstance(n, DPrim) and n.op is sym("*") for n in walk(body))
+
+    def test_static_conditional_selected_at_spec_time(self):
+        res, body = ann_body("(define (f s d) (if (zero? s) d (+ d 1)))", "SD")
+        assert not any(isinstance(n, DIf) for n in walk(body))
+
+    def test_dynamic_conditional(self):
+        res, body = ann_body("(define (f s d) (if (zero? d) s (+ s 1)))", "SD")
+        assert any(isinstance(n, DIf) for n in walk(body))
+
+    def test_impure_prim_always_dynamic(self):
+        res, body = ann_body('(define (f s) (display s))', "S")
+        assert any(isinstance(n, DPrim) for n in walk(body))
+
+    def test_all_static_program_needs_lift_at_residual_boundary(self):
+        # The goal is a specialization point: its (static) result must be
+        # lifted into the residual code.
+        res, body = ann_body("(define (f s) (* s 2))", "S")
+        assert any(isinstance(n, Lift) for n in walk(body))
+
+
+class TestCallAnnotations:
+    def test_nonrecursive_call_unfolds(self):
+        src = """
+        (define (helper x) (+ x 1))
+        (define (main d) (helper d))
+        """
+        res, body = ann_body(src, "D", goal="main")
+        assert not any(isinstance(n, MemoCall) for n in walk(body))
+
+    def test_structural_descent_unfolds(self):
+        src = """
+        (define (len xs d) (if (null? xs) d (len (cdr xs) (+ d 1))))
+        """
+        res, body = ann_body(src, "SD", goal="len")
+        assert not any(isinstance(n, MemoCall) for n in walk(body))
+
+    def test_numeric_descent_unfolds(self):
+        res, body = ann_body(
+            "(define (p x n) (if (zero? n) 1 (* x (p x (- n 1)))))", "DS"
+        )
+        assert not any(isinstance(n, MemoCall) for n in walk(body))
+
+    def test_non_descending_recursion_memoizes(self):
+        src = """
+        (define (iter s d) (if (zero? d) s (iter s (- d 1))))
+        """
+        res, body = ann_body(src, "SD", goal="iter")
+        assert any(isinstance(n, MemoCall) for n in walk(body))
+
+    def test_memo_hint_forces_memoization(self):
+        src = "(define (p x n) (if (zero? n) 1 (* x (p x (- n 1)))))"
+        res, body = ann_body(src, "DS", memo_hints=["p"])
+        assert any(isinstance(n, MemoCall) for n in walk(body))
+
+    def test_unfold_hint_forces_unfolding(self):
+        src = "(define (iter s d) (if (zero? d) s (iter s (- d 1))))"
+        res, body = ann_body(src, "SD", goal="iter", unfold_hints=["iter"])
+        assert not any(isinstance(n, MemoCall) for n in walk(body))
+
+    def test_residual_set(self):
+        src = """
+        (define (f s d) (g s d))
+        (define (g s d) (if (zero? d) s (f s (- d 1))))
+        """
+        res, _ = ann_body(src, "SD", goal="f")
+        names = {n.name.split("%")[0] for n in res.residual_defs}
+        assert "f" in names  # the goal is always residual
+
+
+class TestHigherOrderBTA:
+    def test_static_lambda_stays_static(self):
+        res, body = ann_body(
+            "(define (f d) ((lambda (x) (+ x d)) 1))", "D"
+        )
+        assert not any(isinstance(n, DLam) for n in walk(body))
+
+    def test_lambda_forced_dynamic_by_context(self):
+        # The lambda is consed into a dynamic structure: it must become
+        # a residual lambda.
+        res, body = ann_body(
+            "(define (f d) (cons (lambda (x) (+ x 1)) d))", "D"
+        )
+        assert any(isinstance(n, DLam) for n in walk(body))
+
+    def test_application_of_dynamic_closure(self):
+        src = """
+        (define (f d)
+          (let ((g (if (zero? d) (lambda (x) x) (lambda (x) (+ x 1)))))
+            (g d)))
+        """
+        res, body = ann_body(src, "D")
+        assert any(isinstance(n, DApp) for n in walk(body))
+        assert sum(isinstance(n, DLam) for n in walk(body)) == 2
+
+    def test_static_closure_in_static_container_unfolds(self):
+        # A closure in a *static* container comes back out statically and
+        # unfolds: no residual lambda is needed.
+        src = """
+        (define (f d)
+          (let ((env (cons (lambda () d) '())))
+            (let ((th (car env)))
+              (th))))
+        """
+        res, body = ann_body(src, "D")
+        assert not any(isinstance(n, DLam) for n in walk(body))
+        assert not any(isinstance(n, DApp) for n in walk(body))
+
+    def test_closure_through_dynamic_container_forced(self):
+        # The LAZY pattern: a closure stored in a *dynamic* structure must
+        # be residualized, and its extraction applied dynamically.
+        src = """
+        (define (f d)
+          (let ((env (cons (lambda () (+ d 1)) d)))
+            (let ((th (car env)))
+              (th))))
+        """
+        res, body = ann_body(src, "D")
+        assert any(isinstance(n, DLam) for n in walk(body))
+        assert any(isinstance(n, DApp) for n in walk(body))
+
+
+class TestPrepare:
+    def test_unique_names(self):
+        from repro.lang import Lam, Let
+
+        program = parse_program(
+            """
+            (define (f x) (let ((y x)) ((lambda (y) y) y)))
+            (define (g x) (let ((y x)) y))
+            """
+        )
+        prepared = prepare(program)
+        names = []
+        for d in prepared.defs:
+            names.extend(d.params)
+            for node in walk(d.body):
+                if isinstance(node, Lam):
+                    names.extend(node.params)
+                elif isinstance(node, Let):
+                    names.append(node.var)
+        assert len(names) == len(set(names))
+
+    def test_eta_expansion_of_escaping_defs(self):
+        from repro.lang import App, Var
+
+        program = parse_program(
+            """
+            (define (inc x) (+ x 1))
+            (define (main d) (cons inc d))
+            """
+        )
+        prepared = prepare(program)
+        main = prepared.lookup(prepared.goal)
+        # The bare `inc` reference became (lambda (x) (inc x)).
+        lams = [n for n in walk(main.body) if isinstance(n, Lam)]
+        assert len(lams) == 1
+        assert isinstance(lams[0].body, App)
+
+    def test_semantics_preserved_by_preparation(self):
+        from repro.interp import run_program
+        from repro.lang import eliminate_assignments
+
+        src = """
+        (define (f a)
+          (let loop ((i 0) (acc 1))
+            (if (= i a) acc (loop (+ i 1) (* acc 2)))))
+        """
+        program = parse_program(src, goal="f")
+        prepared = prepare(program)
+        baseline = eliminate_assignments(program)
+        assert run_program(prepared, [10]) == run_program(baseline, [10]) == 1024
+
+
+class TestDivisionReporting:
+    def test_division_contains_goal_params(self):
+        program = parse_program("(define (f s d) (+ s d))")
+        res = analyze(program, "SD")
+        bts = sorted(
+            (name.name.split("%")[0], bt) for name, bt in res.division.items()
+        )
+        assert ("d", D) in bts
+        assert ("s", S) in bts

@@ -1,0 +1,175 @@
+"""Tests for the algebraic framework of §5: functors, catamorphisms, fusion."""
+
+from hypothesis import given, settings
+
+from repro.cata import (
+    ConstructorAlgebra,
+    CountAlgebra,
+    EvalAlgebra,
+    FreeVarsAlgebra,
+    UnparseAlgebra,
+    cata,
+    fuse,
+    mk_syntax_children,
+    mk_syntax_map,
+)
+from repro.cata.fusion_law import unfused
+from repro.interp import Interpreter
+from repro.lang import (
+    App,
+    Const,
+    Lam,
+    Prim,
+    Var,
+    count_nodes,
+    free_variables,
+    parse_expr,
+    unparse,
+)
+from repro.sexp import sym, write
+from tests.strategies import arith_exprs, higher_order_exprs
+
+EXAMPLES = [
+    "42",
+    "x",
+    "(lambda (x y) (+ x y))",
+    "(let ((x 1)) (if (< x 2) x (* x x)))",
+    "((lambda (f) (f 1)) (lambda (y) y))",
+    "(cons 1 '(2 3))",
+]
+
+
+class TestFunctor:
+    def test_identity_law(self):
+        for src in EXAMPLES:
+            e = parse_expr(src)
+            assert mk_syntax_map(lambda x: x, e) == e
+
+    def test_composition_law(self):
+        # MkSyntax(f ∘ g) == MkSyntax(f) ∘ MkSyntax(g)
+        def f(e):
+            return Prim(sym("not"), (e,))
+
+        def g(e):
+            return Prim(sym("null?"), (e,))
+
+        for src in EXAMPLES:
+            e = parse_expr(src)
+            left = mk_syntax_map(lambda x: f(g(x)), e)
+            right = mk_syntax_map(f, mk_syntax_map(g, e))
+            assert left == right
+
+    def test_children_match_map_positions(self):
+        for src in EXAMPLES:
+            e = parse_expr(src)
+            seen = []
+            mk_syntax_map(lambda x: (seen.append(x), x)[1], e)
+            assert tuple(seen) == mk_syntax_children(e)
+
+
+class TestCatamorphisms:
+    def test_constructor_algebra_is_identity(self):
+        for src in EXAMPLES:
+            e = parse_expr(src)
+            assert cata(ConstructorAlgebra(), e) == e
+
+    @given(higher_order_exprs())
+    @settings(max_examples=30)
+    def test_constructor_identity_random(self, src):
+        e = parse_expr(src)
+        assert cata(ConstructorAlgebra(), e) == e
+
+    def test_count_algebra_matches_walk(self):
+        for src in EXAMPLES:
+            e = parse_expr(src)
+            assert cata(CountAlgebra(), e) == count_nodes(e)
+
+    def test_freevars_algebra_matches_direct(self):
+        for src in EXAMPLES:
+            e = parse_expr(src)
+            assert cata(FreeVarsAlgebra(), e) == free_variables(e)
+
+    @given(higher_order_exprs())
+    @settings(max_examples=30)
+    def test_freevars_random(self, src):
+        e = parse_expr(src)
+        assert cata(FreeVarsAlgebra(), e) == free_variables(e)
+
+    def test_unparse_algebra_matches_direct(self):
+        for src in EXAMPLES:
+            e = parse_expr(src)
+            assert write(cata(UnparseAlgebra(), e)) == write(unparse(e))
+
+    @given(arith_exprs())
+    @settings(max_examples=30)
+    def test_eval_algebra_matches_interpreter(self, src):
+        e = parse_expr(src)
+        meaning = cata(EvalAlgebra(), e)
+        assert meaning({}) == Interpreter().eval(e, None)
+
+    def test_eval_algebra_staging(self):
+        # The dispatch happens once: the same meaning can be applied to
+        # many environments.
+        e = parse_expr("(+ x (* y 2))")
+        meaning = cata(EvalAlgebra(), e)
+        assert meaning({sym("x"): 1, sym("y"): 2}) == 5
+        assert meaning({sym("x"): 10, sym("y"): 0}) == 10
+
+
+def _double_producer(algebra):
+    """A producer parameterized over syntax constructors: builds the
+    expression (+ input input) around a given expression."""
+
+    def produce(e):
+        lifted = cata(algebra, e)  # rebuild/interpret e through the algebra
+        return algebra.ev_prim(sym("+"), [lifted, lifted])
+
+    return produce
+
+
+def _wrap_lambda_producer(algebra):
+    """Builds (lambda (v) (if v <e> <e>)) through the constructors."""
+
+    def produce(e):
+        v = sym("v")
+        body = algebra.ev_if(
+            algebra.ev_var(v), cata(algebra, e), cata(algebra, e)
+        )
+        return algebra.ev_lam((v,), body)
+
+    return produce
+
+
+class TestFusionLaw:
+    @given(arith_exprs())
+    @settings(max_examples=30)
+    def test_count_fusion(self, src):
+        e = parse_expr(src)
+        two_pass = unfused(CountAlgebra(), _double_producer)
+        one_pass = fuse(CountAlgebra(), _double_producer)
+        assert two_pass(e) == one_pass(e)
+
+    @given(arith_exprs())
+    @settings(max_examples=30)
+    def test_freevars_fusion(self, src):
+        e = parse_expr(src)
+        two_pass = unfused(FreeVarsAlgebra(), _wrap_lambda_producer)
+        one_pass = fuse(FreeVarsAlgebra(), _wrap_lambda_producer)
+        assert two_pass(e) == one_pass(e)
+
+    @given(arith_exprs(depth=2))
+    @settings(max_examples=20)
+    def test_eval_fusion(self, src):
+        e = parse_expr(src)
+        two_pass = unfused(EvalAlgebra(), _double_producer)
+        one_pass = fuse(EvalAlgebra(), _double_producer)
+        assert two_pass(e)({}) == one_pass(e)({})
+
+    def test_unfused_rejects_non_syntax_producer(self):
+        import pytest
+
+        def bad_factory(algebra):
+            return lambda e: 42
+
+        with pytest.raises(TypeError):
+            unfused(CountAlgebra(), bad_factory)(parse_expr("1"))

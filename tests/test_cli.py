@@ -1,0 +1,109 @@
+"""Tests for the command-line driver."""
+
+import pytest
+
+from repro.__main__ import main
+
+POWER = "(define (power x n) (if (zero? n) 1 (* x (power x (- n 1)))))"
+
+
+@pytest.fixture()
+def power_file(tmp_path):
+    f = tmp_path / "power.scm"
+    f.write_text(POWER)
+    return str(f)
+
+
+class TestRunCommands:
+    def test_run(self, power_file, capsys):
+        assert main(["run", power_file, "2", "10", "--goal", "power"]) == 0
+        assert capsys.readouterr().out.strip() == "1024"
+
+    def test_interp(self, power_file, capsys):
+        assert main(["interp", power_file, "3", "3", "--goal", "power"]) == 0
+        assert capsys.readouterr().out.strip() == "27"
+
+    def test_run_with_list_argument(self, tmp_path, capsys):
+        f = tmp_path / "rev.scm"
+        f.write_text("(define (main xs) (reverse xs))")
+        assert main(["run", str(f), "(1 2 3)"]) == 0
+        assert capsys.readouterr().out.strip() == "(3 2 1)"
+
+    def test_run_with_prelude(self, tmp_path, capsys):
+        f = tmp_path / "m.scm"
+        f.write_text("(define (main xs) (map1 add1 xs))")
+        assert main(["run", str(f), "(1 2)", "--prelude"]) == 0
+        assert capsys.readouterr().out.strip() == "(2 3)"
+
+
+class TestSpecializeCommands:
+    def test_specialize_prints_residual(self, power_file, capsys):
+        code = main(
+            [
+                "specialize", power_file, "--goal", "power",
+                "--sig", "DS", "--static", "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "define" in out
+        assert "*" in out
+
+    def test_rtcg_runs_generated_code(self, power_file, capsys):
+        code = main(
+            [
+                "rtcg", power_file, "--goal", "power", "--sig", "DS",
+                "--static", "5", "--dynamic", "2",
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out.strip() == "32"
+
+    def test_rtcg_disassemble(self, power_file, capsys):
+        main(
+            [
+                "rtcg", power_file, "--goal", "power", "--sig", "DS",
+                "--static", "2", "--dynamic", "3", "--disassemble",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert "PRIM" in captured.err
+        assert captured.out.strip() == "9"
+
+    def test_rtcg_join_strategy(self, tmp_path, capsys):
+        f = tmp_path / "c.scm"
+        f.write_text("(define (f d) (+ (if (zero? d) 1 2) 10))")
+        main(
+            [
+                "rtcg", str(f), "--sig", "D", "--dynamic", "0",
+                "--dif-strategy", "join",
+            ]
+        )
+        assert capsys.readouterr().out.strip() == "11"
+
+    def test_annotate(self, power_file, capsys):
+        assert main(
+            ["annotate", power_file, "--goal", "power", "--sig", "DS"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "lift" in out
+        assert "[DS]" in out
+
+    def test_memo_hint(self, power_file, capsys):
+        main(
+            [
+                "specialize", power_file, "--goal", "power",
+                "--sig", "DS", "--static", "2", "--memo", "power",
+            ]
+        )
+        out = capsys.readouterr().out
+        # Memoized: several residual definitions.
+        assert out.count("(define") == 3
+
+
+class TestCombinatorsCommand:
+    def test_prints_module(self, capsys):
+        assert main(["combinators"]) == 0
+        out = capsys.readouterr().out
+        assert "def make_residual_if" in out
+        assert "make_label()" in out

@@ -1,0 +1,139 @@
+"""Tests for the compiled generating extensions (cogen path)."""
+
+import pytest
+
+from repro.compiler import ObjectCodeBackend
+from repro.lang import Gensym, parse_program, unparse_program
+from repro.pe import SourceBackend, Specializer, analyze
+from repro.pe.cogen import compile_generating_extension
+from repro.pe.errors import SpecializationError
+from repro.runtime.values import datum_to_value, scheme_equal, value_to_datum
+from repro.sexp import write
+
+
+def residual_text(rp):
+    return "\n".join(write(d) for d in unparse_program(rp.program))
+
+
+def both_paths(src, signature, static_args, goal=None, **kw):
+    """Residual programs from the specializer and the compiled extension."""
+    program = parse_program(src, goal=goal)
+    res = analyze(program, signature, **kw)
+    rp_spec = Specializer(
+        res.annotated, SourceBackend(), name_gensym=Gensym("f")
+    ).run(static_args)
+    extension = compile_generating_extension(res.annotated)
+    rp_cogen = extension.generate(static_args, name_gensym=Gensym("f"))
+    return rp_spec, rp_cogen, extension
+
+
+POWER = "(define (power x n) (if (zero? n) 1 (* x (power x (- n 1)))))"
+
+
+class TestCogenEquivalence:
+    def test_power_identical_residual(self):
+        rp_spec, rp_cogen, _ = both_paths(POWER, "DS", [6])
+        assert residual_text(rp_spec) == residual_text(rp_cogen)
+
+    def test_dynamic_recursion_identical(self):
+        rp_spec, rp_cogen, _ = both_paths(POWER, "SD", [3])
+        assert residual_text(rp_spec) == residual_text(rp_cogen)
+
+    def test_higher_order_identical(self):
+        src = """
+        (define (make-add d) (lambda (x) (+ x d)))
+        (define (main d e) (let ((f (make-add d))) (f (f e))))
+        """
+        rp_spec, rp_cogen, _ = both_paths(src, "DD", [], goal="main")
+        assert residual_text(rp_spec) == residual_text(rp_cogen)
+
+    def test_mixwell_identical(self):
+        from repro.workloads import (
+            MIXWELL_GOAL,
+            MIXWELL_SIGNATURE,
+            MIXWELL_SOURCE,
+            mixwell_tm_program,
+        )
+
+        rp_spec, rp_cogen, _ = both_paths(
+            MIXWELL_SOURCE,
+            MIXWELL_SIGNATURE,
+            [mixwell_tm_program()],
+            goal=MIXWELL_GOAL,
+        )
+        assert residual_text(rp_spec) == residual_text(rp_cogen)
+
+    def test_lazy_identical(self):
+        from repro.workloads import (
+            LAZY_GOAL,
+            LAZY_SIGNATURE,
+            LAZY_SOURCE,
+            lazy_primes_program,
+        )
+
+        rp_spec, rp_cogen, _ = both_paths(
+            LAZY_SOURCE,
+            LAZY_SIGNATURE,
+            [lazy_primes_program()],
+            goal=LAZY_GOAL,
+        )
+        assert residual_text(rp_spec) == residual_text(rp_cogen)
+
+
+class TestCogenReuse:
+    def test_one_extension_many_inputs(self):
+        program = parse_program(POWER, goal="power")
+        res = analyze(program, "DS")
+        extension = compile_generating_extension(res.annotated)
+        for n in (0, 1, 5, 9):
+            rp = extension.generate([n])
+            assert rp.run([2]) == 2**n
+
+    def test_extension_with_object_backend(self):
+        program = parse_program(POWER, goal="power")
+        res = analyze(program, "DS")
+        extension = compile_generating_extension(res.annotated)
+        rp = extension.generate([8], backend=ObjectCodeBackend())
+        assert rp.machine is not None
+        assert rp.run([2]) == 256
+
+    def test_callable_shorthand(self):
+        program = parse_program(POWER, goal="power")
+        res = analyze(program, "DS")
+        extension = compile_generating_extension(res.annotated)
+        assert extension([3]).run([5]) == 125
+
+
+class TestCogenErrors:
+    def test_static_arg_count(self):
+        program = parse_program(POWER, goal="power")
+        res = analyze(program, "DS")
+        extension = compile_generating_extension(res.annotated)
+        with pytest.raises(SpecializationError, match="static arguments"):
+            extension.generate([1, 2])
+
+    def test_divergence_bound(self):
+        src = "(define (grow n d) (if (zero? d) n (grow (+ n 1) d)))"
+        program = parse_program(src, goal="grow")
+        res = analyze(program, "SD", memo_hints=["grow"])
+        extension = compile_generating_extension(res.annotated)
+        with pytest.raises(SpecializationError, match="limit"):
+            extension.generate([0], max_residual_defs=30)
+
+    def test_generation_time_error(self):
+        src = "(define (f d) (+ (car '()) d))"
+        program = parse_program(src, goal="f")
+        res = analyze(program, "D")
+        extension = compile_generating_extension(res.annotated)
+        with pytest.raises(SpecializationError, match="car"):
+            extension.generate([])
+
+
+class TestRtcgCogenIntegration:
+    def test_gen_ext_compiled_accessor(self):
+        from repro.rtcg import make_generating_extension
+
+        gen = make_generating_extension(POWER, "DS", goal="power")
+        compiled = gen.compiled()
+        rp = compiled.generate([4])
+        assert rp.run([3]) == 81

@@ -1,0 +1,178 @@
+"""Tests for the ANF compiler and the stock compiler, against the interpreter."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.anf import anf_convert
+from repro.compiler import ANFCompiler, StockCompiler, compile_program
+from repro.compiler.anf_compiler import CompileError, compile_anf_expr
+from repro.interp import Interpreter, run_program
+from repro.lang import parse_expr, parse_program
+from repro.runtime.values import scheme_equal
+from repro.sexp import sym
+from repro.vm import Machine, VmClosure
+from tests.strategies import arith_exprs, higher_order_exprs, list_exprs
+
+
+def run_anf_expr(source: str):
+    expr = anf_convert(parse_expr(source))
+    template = compile_anf_expr(expr)
+    return Machine().call(VmClosure(template, ()), [])
+
+
+def run_stock_expr(source: str):
+    template = StockCompiler().compile_procedure((), parse_expr(source), name="top")
+    return Machine().call(VmClosure(template, ()), [])
+
+
+BOTH = pytest.mark.parametrize("run", [run_anf_expr, run_stock_expr], ids=["anf", "stock"])
+
+
+@BOTH
+class TestExpressionCompilation:
+    def test_constant(self, run):
+        assert run("42") == 42
+
+    def test_arith(self, run):
+        assert run("(+ (* 2 3) (- 10 4))") == 12
+
+    def test_if(self, run):
+        assert run("(if (< 1 2) 'yes 'no)") is sym("yes")
+
+    def test_if_false_branch(self, run):
+        assert run("(if (> 1 2) 'yes 'no)") is sym("no")
+
+    def test_let_chain(self, run):
+        assert run("(let ((x 2)) (let ((y (* x x))) (+ x y)))") == 6
+
+    def test_lambda_application(self, run):
+        assert run("((lambda (x y) (- x y)) 9 4)") == 5
+
+    def test_closure_capture(self, run):
+        assert run("(((lambda (a) (lambda (b) (+ a b))) 3) 4)") == 7
+
+    def test_nested_closure_capture(self, run):
+        assert (
+            run(
+                "((((lambda (a) (lambda (b) (lambda (c) (+ a (+ b c))))) 1) 2) 3)"
+            )
+            == 6
+        )
+
+    def test_quoted_data(self, run):
+        assert run("(car (cdr '(1 2 3)))") == 2
+
+    def test_truthiness(self, run):
+        assert run("(if 0 1 2)") == 1
+
+    def test_shadowing(self, run):
+        assert run("(let ((x 1)) (let ((x 2)) x))") == 2
+
+    def test_primitive_as_value(self, run):
+        assert run("(let ((f car)) (f '(9 8)))") == 9
+
+
+class TestStockOnly:
+    """The stock compiler handles non-ANF input directly."""
+
+    def test_nested_calls(self):
+        assert run_stock_expr("(+ ((lambda (x) (* x x)) 3) ((lambda (y) y) 5))") == 14
+
+    def test_if_as_argument(self):
+        assert run_stock_expr("(* 2 (if (< 1 2) 10 20))") == 20
+
+    def test_serious_test(self):
+        assert run_stock_expr("(if ((lambda (x) (< x 5)) 3) 'lo 'hi)") is sym("lo")
+
+    def test_call_inside_argument_keeps_stack(self):
+        src = "(+ 1 (+ ((lambda (x) (+ x 1)) 2) 4))"
+        assert run_stock_expr(src) == 8
+
+    def test_if_join_point_value_context(self):
+        assert run_stock_expr("(let ((x (if (< 1 2) 10 20))) (+ x 1))") == 11
+
+
+class TestANFCompilerRejectsNonANF:
+    def test_nested_call_rejected(self):
+        with pytest.raises(Exception):
+            compile_anf_expr(parse_expr("(+ 1 (f 2))"))
+
+    def test_unknown_primitive(self):
+        from repro.lang.ast import Prim
+
+        with pytest.raises(CompileError):
+            ANFCompiler(check=False).compile_procedure(
+                (), Prim(sym("no-such-prim"), ()), name="x"
+            )
+
+
+class TestWholeProgramCompilation:
+    FACT = "(define (fact n) (if (= n 0) 1 (* n (fact (- n 1)))))"
+
+    def test_auto_mode_normalizes(self):
+        p = parse_program(self.FACT)
+        assert compile_program(p, compiler="auto").run([6]) == 720
+
+    def test_stock_mode(self):
+        p = parse_program(self.FACT)
+        assert compile_program(p, compiler="stock").run([6]) == 720
+
+    def test_anf_mode_requires_anf(self):
+        p = parse_program(self.FACT)
+        with pytest.raises(ValueError):
+            compile_program(p, compiler="anf")
+
+    def test_unknown_mode(self):
+        p = parse_program(self.FACT)
+        with pytest.raises(ValueError):
+            compile_program(p, compiler="jit")
+
+    def test_mutual_recursion_through_globals(self):
+        p = parse_program(
+            """
+            (define (even? n) (if (zero? n) #t (odd? (- n 1))))
+            (define (odd? n) (if (zero? n) #f (even? (- n 1))))
+            (define (main n) (even? n))
+            """
+        )
+        for mode in ("auto", "stock"):
+            assert compile_program(p, compiler=mode).run([10]) is True
+
+    def test_deep_tail_recursion(self):
+        p = parse_program("(define (loop n) (if (zero? n) 'done (loop (- n 1))))")
+        for mode in ("auto", "stock"):
+            assert compile_program(p, compiler=mode).run([300000]) is sym("done")
+
+    def test_instruction_count_positive(self):
+        p = parse_program(self.FACT)
+        assert compile_program(p).instruction_count() > 5
+
+    def test_reuse_machine(self):
+        p = parse_program(self.FACT)
+        cp = compile_program(p)
+        m = cp.machine()
+        assert cp.run([3], machine=m) == 6
+        assert cp.run([4], machine=m) == 24
+
+
+class TestDifferentialAgainstInterpreter:
+    @given(arith_exprs(depth=4))
+    @settings(max_examples=60)
+    def test_arith(self, source):
+        expected = Interpreter().eval(parse_expr(source), None)
+        assert run_anf_expr(source) == expected
+        assert run_stock_expr(source) == expected
+
+    @given(list_exprs(depth=4))
+    @settings(max_examples=40)
+    def test_lists(self, source):
+        expected = Interpreter().eval(parse_expr(source), None)
+        assert scheme_equal(run_anf_expr(source), expected)
+        assert scheme_equal(run_stock_expr(source), expected)
+
+    @given(higher_order_exprs(depth=4))
+    @settings(max_examples=60)
+    def test_higher_order(self, source):
+        expected = Interpreter().eval(parse_expr(source), None)
+        assert run_anf_expr(source) == expected
+        assert run_stock_expr(source) == expected

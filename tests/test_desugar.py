@@ -1,0 +1,170 @@
+"""Tests for the desugarer, via evaluation of desugared forms."""
+
+import pytest
+
+from repro.lang import DesugarError, desugar, parse_expr
+from repro.sexp import read, sym
+from tests.helpers import interp_datum, interp_expr
+
+
+class TestBegin:
+    def test_empty_begin_is_void(self):
+        from repro.runtime.values import UNSPECIFIED
+
+        assert interp_expr("(begin)") is UNSPECIFIED
+
+    def test_single(self):
+        assert interp_expr("(begin 5)") == 5
+
+    def test_sequence_returns_last(self):
+        assert interp_expr("(begin 1 2 3)") == 3
+
+    def test_sequence_preserves_order(self, capsys):
+        interp_expr('(begin (display "a") (display "b") (void))')
+        assert capsys.readouterr().out == "ab"
+
+
+class TestLet:
+    def test_multi_binding_parallel(self):
+        # Parallel semantics: the x in y's rhs is unbound/free, so use
+        # shadowing to observe parallelism.
+        assert interp_expr("(let ((x 1)) (let ((x 2) (y x)) (+ (* 10 x) y)))") == 21
+
+    def test_zero_bindings(self):
+        assert interp_expr("(let () 42)") == 42
+
+    def test_let_star_sequential(self):
+        assert interp_expr("(let* ((x 1) (y (+ x 1)) (z (* y 3))) z)") == 6
+
+    def test_named_let_loop(self):
+        assert (
+            interp_expr(
+                "(let loop ((i 0) (acc 0)) (if (= i 10) acc (loop (+ i 1) (+ acc i))))"
+            )
+            == 45
+        )
+
+    def test_letrec_mutual(self):
+        src = """
+        (letrec ((even? (lambda (n) (if (= n 0) #t (odd? (- n 1)))))
+                 (odd?  (lambda (n) (if (= n 0) #f (even? (- n 1))))))
+          (even? 10))
+        """
+        assert interp_expr(src) is True
+
+    def test_malformed_let_rejected(self):
+        with pytest.raises(DesugarError):
+            parse_expr("(let (x 1) x 2 3 4 5)") if False else desugar(
+                read("(let ((1 2)) 3)")
+            )
+
+
+class TestCond:
+    def test_first_true_clause(self):
+        assert interp_expr("(cond ((= 1 2) 'a) ((= 1 1) 'b) (else 'c))") is sym("b")
+
+    def test_else(self):
+        assert interp_expr("(cond (#f 1) (else 2))") == 2
+
+    def test_no_match_is_void(self):
+        from repro.runtime.values import UNSPECIFIED
+
+        assert interp_expr("(cond (#f 1))") is UNSPECIFIED
+
+    def test_test_only_clause_returns_test(self):
+        assert interp_expr("(cond (#f) (42) (else 0))") == 42
+
+    def test_multi_expression_body(self, capsys):
+        assert interp_expr('(cond (#t (display "x") 7))') == 7
+        assert capsys.readouterr().out == "x"
+
+    def test_else_not_last_rejected(self):
+        with pytest.raises(DesugarError):
+            desugar(read("(cond (else 1) (#t 2))"))
+
+
+class TestCase:
+    def test_matching_clause(self):
+        assert interp_expr("(case (+ 1 2) ((1 2) 'small) ((3 4) 'mid) (else 'big))") is sym(
+            "mid"
+        )
+
+    def test_else_clause(self):
+        assert interp_expr("(case 99 ((1) 'one) (else 'other))") is sym("other")
+
+    def test_key_evaluated_once(self, capsys):
+        interp_expr('(case (begin (display "!") 1) ((1) (void)) (else (void)))')
+        assert capsys.readouterr().out == "!"
+
+
+class TestAndOr:
+    def test_and_empty(self):
+        assert interp_expr("(and)") is True
+
+    def test_and_short_circuit(self, capsys):
+        assert interp_expr('(and #f (display "no"))') is False
+        assert capsys.readouterr().out == ""
+
+    def test_and_returns_last(self):
+        assert interp_expr("(and 1 2 3)") == 3
+
+    def test_or_empty(self):
+        assert interp_expr("(or)") is False
+
+    def test_or_short_circuit(self, capsys):
+        assert interp_expr('(or 7 (display "no"))') == 7
+        assert capsys.readouterr().out == ""
+
+    def test_or_returns_first_truthy(self):
+        assert interp_expr("(or #f #f 9)") == 9
+
+
+class TestWhenUnless:
+    def test_when_true(self):
+        assert interp_expr("(when (< 1 2) 1 2 3)") == 3
+
+    def test_when_false(self):
+        from repro.runtime.values import UNSPECIFIED
+
+        assert interp_expr("(when #f 1)") is UNSPECIFIED
+
+    def test_unless(self):
+        assert interp_expr("(unless #f 'yes)") is sym("yes")
+
+
+class TestIf:
+    def test_two_armed_if(self):
+        from repro.runtime.values import UNSPECIFIED
+
+        assert interp_expr("(if #f 1)") is UNSPECIFIED
+        assert interp_expr("(if #t 1)") == 1
+
+
+class TestQuasiquote:
+    def test_plain(self):
+        assert interp_datum("`(1 2 3)") == [1, 2, 3]
+
+    def test_unquote(self):
+        assert interp_datum("`(1 ,(+ 1 1) 3)") == [1, 2, 3]
+
+    def test_unquote_splicing(self):
+        assert interp_datum("`(0 ,@(list 1 2) 3)") == [0, 1, 2, 3]
+
+    def test_nested_structure(self):
+        assert interp_datum("`((a ,(* 2 2)) b)") == [[sym("a"), 4], sym("b")]
+
+    def test_nested_quasiquote_preserved(self):
+        assert interp_datum("`(x `(y ,(z)))") == [
+            sym("x"),
+            [sym("quasiquote"), [sym("y"), [sym("unquote"), [sym("z")]]]],
+        ]
+
+
+class TestDesugarErrors:
+    def test_empty_lambda_body(self):
+        with pytest.raises(DesugarError):
+            desugar(read("(lambda (x))"))
+
+    def test_bad_set(self):
+        with pytest.raises(DesugarError):
+            desugar(read("(set! (a) 1)"))

@@ -1,0 +1,196 @@
+"""Tests for the literal Fig. 3 specializer, and its agreement with the
+production engine on expression-level inputs."""
+
+import pytest
+
+from repro.anf import is_anf
+from repro.interp import Interpreter
+from repro.lang import (
+    App,
+    Const,
+    DApp,
+    DIf,
+    DLam,
+    DPrim,
+    If,
+    Lam,
+    Let,
+    Lift,
+    Prim,
+    Var,
+)
+from repro.pe import BindingTimeError, Dynamic, SourceBackend, Static
+from repro.pe.fig3 import Fig3Specializer
+from repro.runtime.values import datum_to_value
+from repro.sexp import sym
+
+x, y, f, d = sym("x"), sym("y"), sym("f"), sym("d")
+PLUS, TIMES, ZERO = sym("+"), sym("*"), sym("zero?")
+
+
+def dyn(name):
+    return Dynamic(Var(name))
+
+
+class TestStaticRules:
+    def test_constant(self):
+        out = Fig3Specializer().spec_expr(Const(3))
+        assert out == Const(3)
+
+    def test_static_prim_computed(self):
+        e = Prim(PLUS, (Const(1), Const(2)))
+        assert Fig3Specializer().spec_expr(e) == Const(3)
+
+    def test_static_if_selects_branch(self):
+        e = If(Prim(ZERO, (Const(0),)), Const(10), Const(20))
+        assert Fig3Specializer().spec_expr(e) == Const(10)
+
+    def test_static_application_unfolds(self):
+        e = App(Lam((x,), Prim(TIMES, (Var(x), Var(x)))), (Const(6),))
+        assert Fig3Specializer().spec_expr(e) == Const(36)
+
+    def test_let_binds_static(self):
+        e = Let(x, Const(5), Prim(PLUS, (Var(x), Const(1))))
+        assert Fig3Specializer().spec_expr(e) == Const(6)
+
+    def test_environment_lookup_failure(self):
+        import repro.pe.errors as errors
+
+        with pytest.raises(errors.SpecializationError):
+            Fig3Specializer().spec_expr(Var(x))
+
+
+class TestDynamicRules:
+    def test_dprim_let_wraps(self):
+        # Fig. 3 wraps every dynamic primitive in a let, even at the end.
+        e = DPrim(PLUS, (Var(d), Lift(Const(1))))
+        out = Fig3Specializer().spec_expr(e, {d: dyn(d)})
+        assert isinstance(out, Let)
+        assert isinstance(out.rhs, Prim)
+        assert out.body == Var(out.var)
+        assert is_anf(out)
+
+    def test_lift_produces_constant(self):
+        out = Fig3Specializer().spec_expr(Lift(Const(42)))
+        assert out == Const(42)
+
+    def test_lift_of_computed_static(self):
+        e = Lift(Prim(PLUS, (Const(1), Const(2))))
+        assert Fig3Specializer().spec_expr(e) == Const(3)
+
+    def test_dlam_specializes_body(self):
+        # (lambda^D (x) (+^D x (lift (* 3 4)))) — the static multiply is
+        # computed under the dynamic lambda.
+        e = DLam(
+            (x,),
+            DPrim(PLUS, (Var(x), Lift(Prim(TIMES, (Const(3), Const(4)))))),
+        )
+        out = Fig3Specializer().spec_expr(e)
+        assert isinstance(out, Lam)
+        assert is_anf(out)
+        assert Const(12) in out.body.rhs.args
+
+    def test_dapp_let_wraps(self):
+        e = DApp(Var(f), (Var(d),))
+        out = Fig3Specializer().spec_expr(e, {f: dyn(f), d: dyn(d)})
+        assert isinstance(out, Let)
+        assert isinstance(out.rhs, App)
+
+    def test_dif_duplicates_continuation(self):
+        # k is duplicated into both branches (the figure's rule): the
+        # surrounding (+^D · 1) appears twice in the residual code.
+        e = DPrim(
+            PLUS,
+            (DIf(Var(d), Lift(Const(1)), Lift(Const(2))), Lift(Const(10))),
+        )
+        out = Fig3Specializer().spec_expr(e, {d: dyn(d)})
+        assert isinstance(out, If)
+        from repro.lang import walk
+
+        plus_count = sum(
+            1
+            for n in walk(out)
+            if isinstance(n, Prim) and n.op is PLUS
+        )
+        assert plus_count == 2
+
+    def test_residual_semantics(self):
+        # residual((x * (2+3))^D)(x=4) == 20
+        e = DPrim(TIMES, (Var(x), Lift(Prim(PLUS, (Const(2), Const(3))))))
+        out = Fig3Specializer().spec_expr(e, {x: dyn(x)})
+        interp = Interpreter()
+        from repro.interp import Env
+
+        assert interp.eval(out, Env({x: 4}, None)) == 20
+
+
+class TestAgreementWithProductionEngine:
+    """Fig. 3 and the production engine agree semantically on
+    expression-level inputs (modulo fresh names and tail refinement)."""
+
+    CASES = [
+        # (annotated expression builder, env names, env values)
+        (
+            lambda: DPrim(PLUS, (Var(d), Lift(Prim(TIMES, (Const(3), Const(7)))))),
+            [7],
+        ),
+        (
+            lambda: DIf(
+                Prim(ZERO, (Var(d),)) if False else DPrim(ZERO, (Var(d),)),
+                Lift(Const(1)),
+                DPrim(PLUS, (Var(d), Lift(Const(1)))),
+            ),
+            [0],
+        ),
+        (
+            lambda: DApp(
+                DLam((x,), DPrim(TIMES, (Var(x), Var(x)))), (Var(d),)
+            ),
+            [9],
+        ),
+    ]
+
+    @pytest.mark.parametrize("case", range(len(CASES)))
+    def test_same_results(self, case):
+        builder, dyn_args = self.CASES[case]
+        expr = builder()
+
+        fig3_out = Fig3Specializer().spec_expr(expr, {d: dyn(d)})
+
+        # Production engine via a one-def annotated program.
+        from repro.pe.annprog import AnnDef, AnnotatedProgram, BindingTime
+        from repro.pe.specializer import Specializer
+
+        g = sym("goal")
+        ann = AnnotatedProgram(
+            (AnnDef(g, (d,), (BindingTime.DYNAMIC,), expr, True),), g
+        )
+        rp = Specializer(ann, SourceBackend()).run([])
+
+        interp = Interpreter()
+        from repro.interp import Env
+
+        expected = interp.eval(fig3_out, Env({d: dyn_args[0]}, None))
+        assert rp.run(dyn_args) == expected
+
+    def test_both_produce_anf(self):
+        for builder, _ in self.CASES:
+            out = Fig3Specializer().spec_expr(builder(), {d: dyn(d)})
+            assert is_anf(out)
+
+
+class TestFig3Errors:
+    def test_dynamic_test_in_static_if(self):
+        e = If(Var(d), Const(1), Const(2))
+        with pytest.raises(BindingTimeError):
+            Fig3Specializer().spec_expr(e, {d: dyn(d)})
+
+    def test_dynamic_arg_to_static_prim(self):
+        e = Prim(PLUS, (Var(d), Const(1)))
+        with pytest.raises(BindingTimeError):
+            Fig3Specializer().spec_expr(e, {d: dyn(d)})
+
+    def test_cannot_lift_closure(self):
+        e = Lift(Lam((x,), Var(x)))
+        with pytest.raises(BindingTimeError):
+            Fig3Specializer().spec_expr(e)

@@ -1,0 +1,179 @@
+"""Tests for the reference interpreter."""
+
+import pytest
+
+from repro.interp import Interpreter, StepLimitExceeded, run_program
+from repro.lang import parse_expr, parse_program
+from repro.runtime.errors import SchemeError
+from repro.runtime.values import NIL, Pair, scheme_equal, scheme_list
+from repro.sexp import sym
+from tests.helpers import interp_datum, interp_expr
+
+
+class TestBasicEvaluation:
+    def test_constant(self):
+        assert interp_expr("42") == 42
+
+    def test_quoted_list_converts_to_pairs(self):
+        v = interp_expr("'(1 2)")
+        assert isinstance(v, Pair)
+        assert scheme_equal(v, scheme_list(1, 2))
+
+    def test_lambda_application(self):
+        assert interp_expr("((lambda (x y) (- x y)) 10 4)") == 6
+
+    def test_closure_captures_environment(self):
+        assert interp_expr("(((lambda (x) (lambda (y) (+ x y))) 3) 4)") == 7
+
+    def test_let(self):
+        assert interp_expr("(let ((x 5)) (* x x))") == 25
+
+    def test_if_truthiness_only_false_is_false(self):
+        assert interp_expr("(if 0 'zero 'no)") is sym("zero")
+        assert interp_expr("(if '() 'nil 'no)") is sym("nil")
+        assert interp_expr("(if #f 'yes 'no)") is sym("no")
+
+    def test_shadowing(self):
+        assert interp_expr("(let ((x 1)) (let ((x 2)) x))") == 2
+
+
+class TestProcedures:
+    def test_arity_mismatch(self):
+        with pytest.raises(SchemeError):
+            interp_expr("((lambda (x) x) 1 2)")
+
+    def test_apply_non_procedure(self):
+        with pytest.raises(SchemeError):
+            interp_expr("(5 6)")
+
+    def test_unbound_variable(self):
+        with pytest.raises(SchemeError):
+            interp_expr("nope")
+
+    def test_primitive_as_value(self):
+        assert interp_expr("(let ((f car)) (f '(1 2)))") == 1
+
+    def test_procedure_predicate(self):
+        assert interp_expr("(procedure? (lambda (x) x))") is True
+        assert interp_expr("(procedure? car)") is True
+        assert interp_expr("(procedure? 5)") is False
+
+
+class TestRecursionAndTails:
+    def test_deep_tail_recursion_constant_stack(self):
+        p = parse_program(
+            "(define (loop n) (if (zero? n) 'done (loop (- n 1))))"
+        )
+        assert run_program(p, [200000]) is sym("done")
+
+    def test_mutual_recursion(self):
+        p = parse_program(
+            """
+            (define (even? n) (if (zero? n) #t (odd? (- n 1))))
+            (define (odd? n) (if (zero? n) #f (even? (- n 1))))
+            (define (main n) (even? n))
+            """
+        )
+        assert run_program(p, [100001]) is False
+
+    def test_non_tail_recursion(self):
+        p = parse_program("(define (sum n) (if (zero? n) 0 (+ n (sum (- n 1)))))")
+        assert run_program(p, [100]) == 5050
+
+    def test_ackermann_small(self):
+        p = parse_program(
+            """
+            (define (ack m n)
+              (cond ((zero? m) (+ n 1))
+                    ((zero? n) (ack (- m 1) 1))
+                    (else (ack (- m 1) (ack m (- n 1))))))
+            """
+        )
+        assert run_program(p, [2, 3]) == 9
+
+
+class TestStepLimit:
+    def test_divergence_detected(self):
+        p = parse_program("(define (f) (f))")
+        with pytest.raises(StepLimitExceeded):
+            run_program(p, [], step_limit=1000)
+
+    def test_limit_not_triggered_by_terminating_program(self):
+        p = parse_program("(define (f x) (+ x 1))")
+        assert run_program(p, [1], step_limit=1000) == 2
+
+
+class TestPrimSemantics:
+    def test_arith(self):
+        assert interp_expr("(+ 1 2 3)") == 6
+        assert interp_expr("(- 10)") == -10
+        assert interp_expr("(* 2 3 4)") == 24
+
+    def test_division_exact_when_even(self):
+        assert interp_expr("(/ 10 2)") == 5
+        assert interp_expr("(/ 7 2)") == 3.5
+
+    def test_quotient_remainder_modulo_signs(self):
+        assert interp_expr("(quotient -7 2)") == -3
+        assert interp_expr("(remainder -7 2)") == -1
+        assert interp_expr("(modulo -7 2)") == 1
+
+    def test_division_by_zero(self):
+        with pytest.raises(SchemeError):
+            interp_expr("(quotient 1 0)")
+
+    def test_comparison_chains(self):
+        assert interp_expr("(< 1 2 3)") is True
+        assert interp_expr("(< 1 3 2)") is False
+
+    def test_list_ops(self):
+        assert interp_datum("(append '(1 2) '(3) '())") == [1, 2, 3]
+        assert interp_datum("(reverse '(1 2 3))") == [3, 2, 1]
+        assert interp_expr("(length '(a b c))") == 3
+        assert interp_expr("(list-ref '(a b c) 1)") is sym("b")
+
+    def test_assq_and_memq(self):
+        assert interp_datum("(assq 'b '((a 1) (b 2)))") == [sym("b"), 2]
+        assert interp_expr("(assq 'z '((a 1)))") is False
+        assert interp_datum("(memq 'b '(a b c))") == [sym("b"), sym("c")]
+
+    def test_equal_structural(self):
+        assert interp_expr("(equal? '(1 (2)) '(1 (2)))") is True
+        assert interp_expr("(eq? '(1) '(1))") is False or True  # identity-based
+
+    def test_car_of_non_pair(self):
+        with pytest.raises(SchemeError):
+            interp_expr("(car 5)")
+
+    def test_error_primitive(self):
+        with pytest.raises(SchemeError, match="boom"):
+            interp_expr('(error "boom" 1 2)')
+
+    def test_symbol_string_conversions(self):
+        assert interp_expr("(symbol->string 'abc)") == "abc"
+        assert interp_expr("(string->symbol \"xyz\")") is sym("xyz")
+
+    def test_number_predicates(self):
+        assert interp_expr("(number? 1)") is True
+        assert interp_expr("(number? #t)") is False
+        assert interp_expr("(integer? 1.5)") is False
+
+    def test_expt_and_sqrt(self):
+        assert interp_expr("(expt 2 10)") == 1024
+        assert interp_expr("(sqrt 49)") == 7
+        assert interp_expr("(sqrt 2)") == pytest.approx(1.41421356)
+
+
+class TestCells:
+    def test_cell_roundtrip(self):
+        assert interp_expr(
+            "(let ((c (make-cell 1))) (begin (cell-set! c 42) (cell-ref c)))"
+        ) == 42
+
+    def test_set_bang_raises_without_elimination(self):
+        from repro.lang import parse_core
+        from repro.sexp import read
+
+        interp = Interpreter()
+        with pytest.raises(SchemeError, match="assignment elimination"):
+            interp.eval(parse_core(read("(let (x 1) (set! x 2))")), None)

@@ -1,0 +1,158 @@
+"""Tests for the core-form parser and the unparser."""
+
+import pytest
+from hypothesis import given
+
+from repro.lang import (
+    App,
+    Const,
+    If,
+    Lam,
+    Let,
+    ParseError,
+    Prim,
+    SetBang,
+    Var,
+    free_variables,
+    parse_core,
+    parse_expr,
+    parse_program,
+    unparse,
+)
+from repro.sexp import read, sym, write
+from tests.strategies import arith_exprs, higher_order_exprs
+
+
+class TestParseCore:
+    def test_constant(self):
+        assert parse_expr("42") == Const(42)
+
+    def test_quote_freezes_lists(self):
+        e = parse_expr("'(1 (2) 3)")
+        assert e == Const((1, (2,), 3))
+
+    def test_variable(self):
+        assert parse_expr("x") == Var(sym("x"))
+
+    def test_lambda(self):
+        e = parse_expr("(lambda (x y) x)")
+        assert isinstance(e, Lam)
+        assert e.params == (sym("x"), sym("y"))
+
+    def test_duplicate_params_rejected(self):
+        with pytest.raises(ParseError):
+            parse_core(read("(lambda (x x) x)"))
+
+    def test_if(self):
+        e = parse_expr("(if #t 1 2)")
+        assert isinstance(e, If)
+
+    def test_primitive_call(self):
+        e = parse_expr("(+ 1 2)")
+        assert isinstance(e, Prim)
+        assert e.op is sym("+")
+
+    def test_primitive_arity_checked_at_parse_time(self):
+        with pytest.raises(Exception):
+            parse_expr("(car)")
+
+    def test_application(self):
+        e = parse_expr("(f 1 2)")
+        assert isinstance(e, App)
+        assert e.fn == Var(sym("f"))
+
+    def test_shadowed_primitive_is_application(self):
+        e = parse_expr("(lambda (car) (car 1))")
+        assert isinstance(e, Lam)
+        assert isinstance(e.body, App)
+
+    def test_shadowed_special_form_name(self):
+        # A parameter named `if` shadows the special form in call position.
+        e = parse_core(read("(lambda (if) (if 1 2 3))"))
+        assert isinstance(e.body, App)
+
+    def test_set_bang(self):
+        e = parse_core(read("(set! x 1)"))
+        assert e == SetBang(sym("x"), Const(1))
+
+    def test_empty_application_rejected(self):
+        with pytest.raises(ParseError):
+            parse_core(read("()"))
+
+    def test_core_let_shape(self):
+        e = parse_core(read("(let (x 1) x)"))
+        assert e == Let(sym("x"), Const(1), Var(sym("x")))
+
+
+class TestParseProgram:
+    def test_goal_defaults_to_main(self):
+        p = parse_program("(define (f) 1) (define (main) 2) (define (g) 3)")
+        assert p.goal is sym("main")
+
+    def test_goal_defaults_to_last(self):
+        p = parse_program("(define (f) 1) (define (g) 2)")
+        assert p.goal is sym("g")
+
+    def test_explicit_goal(self):
+        p = parse_program("(define (f) 1) (define (g) 2)", goal="f")
+        assert p.goal is sym("f")
+
+    def test_define_value_form_for_lambdas(self):
+        p = parse_program("(define double (lambda (x) (* 2 x)))")
+        assert p.defs[0].params == (sym("x"),)
+
+    def test_missing_goal_rejected(self):
+        with pytest.raises(ValueError):
+            parse_program("(define (f) 1)", goal="nope")
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("")
+
+    def test_lookup(self):
+        p = parse_program("(define (f x) x)")
+        assert p.lookup(sym("f")).params == (sym("x"),)
+
+
+class TestUnparseRoundTrip:
+    def test_simple(self):
+        e = parse_expr("(let ((x (+ 1 2))) (if (< x 3) x (* x x)))")
+        assert parse_expr(write(unparse(e))) == e
+
+    def test_lambda(self):
+        e = parse_expr("(lambda (f x) (f (f x)))")
+        assert parse_expr(write(unparse(e))) == e
+
+    def test_quoted_constants(self):
+        e = parse_expr("'(a 1 (b))")
+        assert parse_expr(write(unparse(e))) == e
+
+    @given(arith_exprs())
+    def test_arith_roundtrip(self, source):
+        e = parse_expr(source)
+        assert parse_expr(write(unparse(e))) == e
+
+    @given(higher_order_exprs())
+    def test_higher_order_roundtrip(self, source):
+        e = parse_expr(source)
+        assert parse_expr(write(unparse(e))) == e
+
+
+class TestFreeVariables:
+    def test_closed(self):
+        assert free_variables(parse_expr("(lambda (x) x)")) == frozenset()
+
+    def test_open(self):
+        assert free_variables(parse_expr("(lambda (x) (+ x y))")) == {sym("y")}
+
+    def test_let_scoping(self):
+        e = parse_core(read("(let (x y) (+ x z))"))
+        assert free_variables(e) == {sym("y"), sym("z")}
+
+    def test_let_rhs_not_in_scope(self):
+        e = parse_core(read("(let (x x) x)"))
+        assert free_variables(e) == {sym("x")}
+
+    def test_shadowing(self):
+        e = parse_expr("(lambda (x) ((lambda (x) x) x))")
+        assert free_variables(e) == frozenset()

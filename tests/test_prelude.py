@@ -1,0 +1,138 @@
+"""Tests for the prelude library, on every execution path."""
+
+import pytest
+
+from repro.compiler import compile_program
+from repro.interp import run_program
+from repro.lang.prelude import prelude_definitions, with_prelude
+from repro.runtime.values import datum_to_value, value_to_datum
+from repro.sexp import sym
+
+
+def run_all(source, goal, args):
+    """Run through the interpreter, ANF compiler, and stock compiler."""
+    program = with_prelude(source, goal=goal)
+    results = [run_program(program, args)]
+    for mode in ("auto", "stock"):
+        results.append(compile_program(program, compiler=mode).run(args))
+    first = results[0]
+    from repro.runtime.values import scheme_equal
+
+    for r in results[1:]:
+        assert scheme_equal(r, first)
+    return first
+
+
+class TestListOperations:
+    def test_map1(self):
+        out = run_all(
+            "(define (main xs) (map1 (lambda (x) (* x x)) xs))",
+            "main",
+            [datum_to_value([1, 2, 3])],
+        )
+        assert value_to_datum(out) == [1, 4, 9]
+
+    def test_filter1(self):
+        out = run_all(
+            "(define (main xs) (filter1 even? xs))",
+            "main",
+            [datum_to_value([1, 2, 3, 4, 5, 6])],
+        )
+        assert value_to_datum(out) == [2, 4, 6]
+
+    def test_foldr_builds_right(self):
+        out = run_all(
+            "(define (main xs) (foldr cons '() xs))",
+            "main",
+            [datum_to_value([1, 2, 3])],
+        )
+        assert value_to_datum(out) == [1, 2, 3]
+
+    def test_foldl_accumulates_left(self):
+        out = run_all(
+            "(define (main xs) (foldl - 0 xs))",
+            "main",
+            [datum_to_value([1, 2, 3])],
+        )
+        assert out == -6
+
+    def test_quantifiers(self):
+        src = "(define (main xs) (list (for-all? positive? xs) (exists? even? xs)))"
+        out = run_all(src, "main", [datum_to_value([1, 3, 4])])
+        assert value_to_datum(out) == [True, True]
+
+    def test_iota_take_drop(self):
+        src = "(define (main n) (list (take (iota n) 3) (drop (iota n) 3)))"
+        out = run_all(src, "main", [5])
+        assert value_to_datum(out) == [[0, 1, 2], [3, 4]]
+
+    def test_zip2(self):
+        src = "(define (main xs ys) (zip2 xs ys))"
+        out = run_all(
+            src, "main", [datum_to_value([1, 2]), datum_to_value([sym("a"), sym("b"), sym("c")])]
+        )
+        assert value_to_datum(out) == [[1, sym("a")], [2, sym("b")]]
+
+    def test_assoc_update(self):
+        src = """
+        (define (main)
+          (assoc-update 'b 99 '((a 1) (b 2) (c 3))))
+        """
+        out = run_all(src, "main", [])
+        assert value_to_datum(out) == [
+            [sym("a"), 1],
+            [sym("b"), 99],
+            [sym("c"), 3],
+        ]
+
+    def test_sort_by(self):
+        src = "(define (main xs) (sort-by xs <))"
+        out = run_all(src, "main", [datum_to_value([5, 1, 4, 2, 3])])
+        assert value_to_datum(out) == [1, 2, 3, 4, 5]
+
+
+class TestShadowing:
+    def test_program_definition_replaces_prelude(self):
+        src = """
+        (define (map1 f xs) 'mine)
+        (define (main xs) (map1 car xs))
+        """
+        program = with_prelude(src, goal="main")
+        # Exactly one map1 definition survives.
+        assert sum(1 for d in program.defs if d.name is sym("map1")) == 1
+        assert run_program(program, [datum_to_value([])]) is sym("mine")
+
+    def test_prelude_definitions_cached_copy(self):
+        a = prelude_definitions()
+        b = prelude_definitions()
+        assert a == b
+        a.append("mutation")
+        assert prelude_definitions() != a
+
+
+class TestPreludeWithPE:
+    def test_specializing_prelude_code(self):
+        from repro.pe import analyze, specialize
+
+        src = """
+        (define (main ys)
+          (foldr + 0 (map1 (lambda (p) (* p p)) ys)))
+        """
+        program = with_prelude(src, goal="main")
+        res = analyze(program, "D")
+        rp = specialize(res.annotated, [])
+        assert rp.run([datum_to_value([1, 2, 3])]) == 14
+
+    def test_static_list_fully_computed(self):
+        from repro.pe import analyze, specialize
+
+        src = """
+        (define (main xs extra)
+          (+ (foldl + 0 (take xs 3)) extra))
+        """
+        program = with_prelude(src, goal="main")
+        res = analyze(program, "SD")
+        rp = specialize(res.annotated, [datum_to_value([10, 20, 30, 40])])
+        # take/foldl over the static list evaluate away entirely.
+        assert rp.run([7]) == 67
+        assert len(rp.program.defs) == 1

@@ -1,0 +1,191 @@
+"""Tests for the s-expression reader and writer."""
+
+import pytest
+from hypothesis import given
+
+from repro.sexp import Char, ReaderError, read, read_all, sym, write
+from tests.strategies import data
+
+
+class TestReaderAtoms:
+    def test_integer(self):
+        assert read("42") == 42
+
+    def test_negative_integer(self):
+        assert read("-17") == -17
+
+    def test_float(self):
+        assert read("3.25") == 3.25
+
+    def test_negative_float(self):
+        assert read("-0.5") == -0.5
+
+    def test_exponent_float(self):
+        assert read("1e3") == 1000.0
+
+    def test_symbol(self):
+        assert read("foo") is sym("foo")
+
+    def test_symbol_with_specials(self):
+        assert read("list->vector!?") is sym("list->vector!?")
+
+    def test_plus_minus_are_symbols(self):
+        assert read("+") is sym("+")
+        assert read("-") is sym("-")
+
+    def test_true(self):
+        assert read("#t") is True
+
+    def test_false(self):
+        assert read("#f") is False
+
+    def test_string(self):
+        assert read('"hello world"') == "hello world"
+
+    def test_string_escapes(self):
+        assert read(r'"a\nb\t\"q\\"') == 'a\nb\t"q\\'
+
+    def test_char(self):
+        assert read("#\\a") == Char("a")
+
+    def test_named_chars(self):
+        assert read("#\\space") == Char(" ")
+        assert read("#\\newline") == Char("\n")
+        assert read("#\\tab") == Char("\t")
+
+
+class TestReaderLists:
+    def test_empty_list(self):
+        assert read("()") == []
+
+    def test_flat_list(self):
+        assert read("(1 2 3)") == [1, 2, 3]
+
+    def test_nested(self):
+        assert read("(a (b (c)) d)") == [
+            sym("a"),
+            [sym("b"), [sym("c")]],
+            sym("d"),
+        ]
+
+    def test_square_brackets(self):
+        assert read("[a b]") == [sym("a"), sym("b")]
+
+    def test_mismatched_brackets_rejected(self):
+        with pytest.raises(ReaderError):
+            read("(a b]")
+
+    def test_quote_shorthand(self):
+        assert read("'x") == [sym("quote"), sym("x")]
+
+    def test_quasiquote_shorthand(self):
+        assert read("`(a ,b ,@c)") == [
+            sym("quasiquote"),
+            [
+                sym("a"),
+                [sym("unquote"), sym("b")],
+                [sym("unquote-splicing"), sym("c")],
+            ],
+        ]
+
+    def test_dotted_pair_rejected(self):
+        with pytest.raises(ReaderError):
+            read("(a . b)")
+
+
+class TestReaderAtmosphere:
+    def test_line_comments(self):
+        assert read("; comment\n42 ; trailing") == 42
+
+    def test_block_comments(self):
+        assert read("#| block #| nested |# |# 7") == 7
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(ReaderError):
+            read("#| open 7")
+
+    def test_whitespace_varieties(self):
+        assert read("\t\n\r  ( 1\n2 )") == [1, 2]
+
+
+class TestReaderErrors:
+    def test_empty_input(self):
+        with pytest.raises(ReaderError):
+            read("")
+
+    def test_unterminated_list(self):
+        with pytest.raises(ReaderError):
+            read("(1 2")
+
+    def test_unterminated_string(self):
+        with pytest.raises(ReaderError):
+            read('"abc')
+
+    def test_stray_close(self):
+        with pytest.raises(ReaderError):
+            read(")")
+
+    def test_trailing_input(self):
+        with pytest.raises(ReaderError):
+            read("1 2")
+
+    def test_bad_char_name(self):
+        with pytest.raises(ReaderError):
+            read("#\\notachar")
+
+    def test_bad_hash(self):
+        with pytest.raises(ReaderError):
+            read("#q")
+
+
+class TestReadAll:
+    def test_multiple_data(self):
+        assert read_all("1 two (3)") == [1, sym("two"), [3]]
+
+    def test_empty(self):
+        assert read_all("  ; nothing\n") == []
+
+
+class TestWriter:
+    def test_integers(self):
+        assert write(42) == "42"
+
+    def test_booleans(self):
+        assert write(True) == "#t"
+        assert write(False) == "#f"
+
+    def test_string_with_escapes(self):
+        assert write('a"b\\c\nd') == '"a\\"b\\\\c\\nd"'
+
+    def test_list(self):
+        assert write([sym("a"), 1, [sym("b")]]) == "(a 1 (b))"
+
+    def test_char(self):
+        assert write(Char(" ")) == "#\\space"
+        assert write(Char("x")) == "#\\x"
+
+    def test_unwritable_raises(self):
+        with pytest.raises(TypeError):
+            write(object())
+
+
+class TestSymbolInterning:
+    def test_same_name_same_object(self):
+        assert sym("abc") is sym("abc")
+
+    def test_different_names_different_objects(self):
+        assert sym("abc") is not sym("abd")
+
+    def test_str(self):
+        assert str(sym("hello")) == "hello"
+
+
+class TestRoundTrip:
+    @given(data)
+    def test_read_write_roundtrip(self, datum):
+        assert read(write(datum)) == datum
+
+    @given(data)
+    def test_write_is_stable(self, datum):
+        text = write(datum)
+        assert write(read(text)) == text

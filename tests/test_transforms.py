@@ -1,0 +1,228 @@
+"""Tests for alpha renaming, assignment elimination, lambda lifting, beta-let."""
+
+from hypothesis import given
+
+from repro.interp import Interpreter, run_program
+from repro.lang import (
+    App,
+    Lam,
+    Let,
+    SetBang,
+    Var,
+    alpha_rename,
+    beta_let,
+    beta_let_program,
+    eliminate_assignments,
+    free_variables,
+    has_assignments,
+    lambda_lift,
+    parse_expr,
+    parse_program,
+    walk,
+)
+from repro.lang.assignment import assigned_variables
+from repro.sexp import sym
+from tests.strategies import arith_exprs, higher_order_exprs
+
+
+def _bound_names(program):
+    names = []
+    for d in program.defs:
+        for node in walk(d.body):
+            if isinstance(node, Lam):
+                names.extend(node.params)
+            elif isinstance(node, Let):
+                names.append(node.var)
+    return names
+
+
+class TestAlphaRename:
+    def test_all_inner_binders_unique(self):
+        p = parse_program(
+            """
+            (define (f x)
+              (let ((y x))
+                (let ((y (+ y 1)))
+                  ((lambda (y) (* y y)) y))))
+            """
+        )
+        renamed = alpha_rename(p)
+        names = _bound_names(renamed)
+        assert len(names) == len(set(names))
+
+    def test_semantics_preserved(self):
+        p = parse_program(
+            "(define (f x) (let ((y x)) (let ((y (+ y 1))) (* y 10))))"
+        )
+        assert run_program(alpha_rename(p), [4]) == run_program(p, [4]) == 50
+
+    def test_free_variables_untouched(self):
+        e = parse_expr("(lambda (x) (+ x y))")
+        from repro.lang import Gensym, alpha_rename_expr
+
+        renamed = alpha_rename_expr(e, Gensym())
+        assert sym("y") in free_variables(renamed)
+
+    @given(higher_order_exprs())
+    def test_random_expressions_preserved(self, source):
+        from repro.lang import Gensym, alpha_rename_expr
+
+        e = parse_expr(source)
+        renamed = alpha_rename_expr(e, Gensym())
+        interp = Interpreter()
+        assert interp.eval(e, None) == interp.eval(renamed, None)
+
+
+class TestAssignmentElimination:
+    def test_no_set_bang_remains(self):
+        p = parse_program(
+            """
+            (define (counter n)
+              (let ((i 0))
+                (begin (set! i (+ i 1)) (+ i n))))
+            """
+        )
+        out = eliminate_assignments(p)
+        assert not any(has_assignments(d.body) for d in out.defs)
+
+    def test_semantics_of_mutation(self):
+        p = parse_program(
+            """
+            (define (f n)
+              (let ((i 0))
+                (begin (set! i (+ i 1))
+                       (begin (set! i (* i 10))
+                              (+ i n)))))
+            """
+        )
+        out = eliminate_assignments(p)
+        assert run_program(out, [5]) == 15
+
+    def test_assigned_parameter(self):
+        p = parse_program(
+            "(define (f x) (begin (set! x (+ x 1)) (* x 2)))"
+        )
+        out = eliminate_assignments(p)
+        assert not any(has_assignments(d.body) for d in out.defs)
+        assert run_program(out, [10]) == 22
+
+    def test_letrec_works_through_cells(self):
+        p = parse_program(
+            """
+            (define (f n)
+              (letrec ((fact (lambda (k) (if (zero? k) 1 (* k (fact (- k 1)))))))
+                (fact n)))
+            """
+        )
+        out = eliminate_assignments(p)
+        assert run_program(out, [5]) == 120
+
+    def test_closure_shares_cell(self):
+        p = parse_program(
+            """
+            (define (f)
+              (let ((x 1))
+                (let ((inc (lambda () (set! x (+ x 1)))))
+                  (begin (inc) (begin (inc) x)))))
+            """
+        )
+        out = eliminate_assignments(p)
+        assert run_program(out, []) == 3
+
+    def test_assigned_variables_detection(self):
+        e = parse_expr("(let ((x 1)) (begin (set! x 2) x))")
+        assert len(assigned_variables(e)) == 1
+
+
+class TestLambdaLift:
+    def test_directly_called_binding_is_lifted(self):
+        p = parse_program(
+            """
+            (define (f a b)
+              (let ((add (lambda (x) (+ x a))))
+                (add (add b))))
+            """
+        )
+        lifted = lambda_lift(p)
+        assert len(lifted.defs) == 2
+        # No Lam nodes remain in the host body.
+        host = lifted.lookup(sym("f"))
+        assert not any(isinstance(n, Lam) for n in walk(host.body))
+        assert run_program(lifted, [10, 5]) == 25
+
+    def test_escaping_lambda_not_lifted(self):
+        p = parse_program(
+            """
+            (define (f a)
+              (let ((g (lambda (x) (+ x a))))
+                (cons g '())))
+            """
+        )
+        lifted = lambda_lift(p)
+        assert len(lifted.defs) == 1
+
+    def test_nested_lifting_fixpoint(self):
+        p = parse_program(
+            """
+            (define (f a)
+              (let ((outer (lambda (x)
+                             (let ((inner (lambda (y) (* y x))))
+                               (inner (inner a))))))
+                (outer 3)))
+            """
+        )
+        lifted = lambda_lift(p)
+        assert len(lifted.defs) == 3
+        assert run_program(lifted, [2]) == run_program(p, [2]) == 18
+
+    def test_lifted_function_keeps_semantics(self):
+        src = """
+        (define (poly a b c x)
+          (let ((term (lambda (coef power)
+                        (* coef (expt x power)))))
+            (+ (term a 2) (+ (term b 1) (term c 0)))))
+        """
+        p = parse_program(src)
+        lifted = lambda_lift(p)
+        for args in ([1, 2, 3, 4], [0, 0, 7, 9], [2, -1, 0, 3]):
+            assert run_program(lifted, args) == run_program(p, args)
+
+    def test_free_vars_become_parameters(self):
+        p = parse_program(
+            """
+            (define (f a b)
+              (let ((g (lambda (x) (+ (+ x a) b))))
+                (g 1)))
+            """
+        )
+        lifted = lambda_lift(p)
+        new_def = [d for d in lifted.defs if d.name is not sym("f")][0]
+        assert len(new_def.params) == 3
+
+
+class TestBetaLet:
+    def test_direct_application_becomes_lets(self):
+        e = parse_expr("((lambda (x y) (+ x y)) 1 2)")
+        out = beta_let(e)
+        assert isinstance(out, Let)
+        assert not any(isinstance(n, App) for n in walk(out))
+
+    def test_multi_binding_let_flattens(self):
+        e = parse_expr("(let ((x 1) (y 2)) (+ x y))")
+        out = beta_let(e)
+        assert isinstance(out, Let)
+
+    def test_semantics(self):
+        e = parse_expr("((lambda (x y) (* x y)) (+ 1 2) 4)")
+        interp = Interpreter()
+        assert interp.eval(beta_let(e), None) == interp.eval(e, None) == 12
+
+    @given(higher_order_exprs())
+    def test_random_expressions_preserved(self, source):
+        e = parse_expr(source)
+        interp = Interpreter()
+        assert interp.eval(beta_let(e), None) == interp.eval(e, None)
+
+    def test_program_variant(self):
+        p = parse_program("(define (f) (let ((x 1) (y 2)) (+ x y)))")
+        assert run_program(beta_let_program(p), []) == 3

@@ -1,0 +1,284 @@
+"""Opcode-level and assembler-level VM tests."""
+
+import pytest
+
+from repro.lang.prims import PRIMITIVES
+from repro.sexp import sym
+from repro.vm import (
+    Machine,
+    Op,
+    Template,
+    VMError,
+    VmClosure,
+    assemble,
+    attach_label,
+    disassemble,
+    instruction,
+    instruction_using_label,
+    make_label,
+    sequentially,
+    Lit,
+)
+from repro.vm.assembler import AssemblyError
+
+
+def run_template(template, args=(), globals_=None):
+    machine = Machine(globals_)
+    return machine.call(VmClosure(template, ()), list(args))
+
+
+def simple(*fragments, arity=0, nlocals=None, name="test"):
+    frag = sequentially(*fragments, instruction(Op.RETURN))
+    return assemble(frag, arity, nlocals if nlocals is not None else max(arity, 4), name)
+
+
+class TestBasicOps:
+    def test_const(self):
+        t = simple(instruction(Op.CONST, Lit(42)))
+        assert run_template(t) == 42
+
+    def test_local(self):
+        t = simple(instruction(Op.LOCAL, 1), arity=2)
+        assert run_template(t, [10, 20]) == 20
+
+    def test_setloc(self):
+        t = simple(
+            instruction(Op.CONST, Lit(7)),
+            instruction(Op.SETLOC, 1),
+            instruction(Op.LOCAL, 1),
+            arity=1,
+        )
+        assert run_template(t, [0]) == 7
+
+    def test_global(self):
+        t = simple(instruction(Op.GLOBAL, Lit(sym("x"))))
+        assert run_template(t, [], {sym("x"): 99}) == 99
+
+    def test_undefined_global(self):
+        t = simple(instruction(Op.GLOBAL, Lit(sym("missing"))))
+        with pytest.raises(VMError):
+            run_template(t)
+
+    def test_prim(self):
+        t = simple(
+            instruction(Op.CONST, Lit(3)),
+            instruction(Op.PUSH),
+            instruction(Op.CONST, Lit(4)),
+            instruction(Op.PUSH),
+            instruction(Op.PRIM, Lit(PRIMITIVES[sym("+")]), 2),
+        )
+        assert run_template(t) == 7
+
+    def test_jump(self):
+        label = make_label()
+        t = simple(
+            instruction(Op.CONST, Lit(1)),
+            instruction_using_label(Op.JUMP, label),
+            instruction(Op.CONST, Lit(2)),
+            attach_label(label, instruction(Op.CONST, Lit(3))),
+        )
+        assert run_template(t) == 3
+
+    def test_jump_if_false_taken(self):
+        label = make_label()
+        t = simple(
+            instruction(Op.CONST, Lit(False)),
+            instruction_using_label(Op.JUMP_IF_FALSE, label),
+            instruction(Op.CONST, Lit(1)),
+            attach_label(label, instruction(Op.CONST, Lit(2))),
+        )
+        assert run_template(t) == 2
+
+    def test_jump_if_false_not_taken_on_truthy(self):
+        # Only #f is false: 0 and nil are truthy.
+        label = make_label()
+        t = simple(
+            instruction(Op.CONST, Lit(0)),
+            instruction_using_label(Op.JUMP_IF_FALSE, label),
+            instruction(Op.CONST, Lit(1)),
+            instruction(Op.RETURN),
+            attach_label(label, instruction(Op.CONST, Lit(2))),
+        )
+        assert run_template(t) == 1
+
+
+class TestClosuresAndCalls:
+    def _add_one_template(self):
+        return simple(
+            instruction(Op.LOCAL, 0),
+            instruction(Op.PUSH),
+            instruction(Op.CONST, Lit(1)),
+            instruction(Op.PUSH),
+            instruction(Op.PRIM, Lit(PRIMITIVES[sym("+")]), 2),
+            arity=1,
+            name="add1",
+        )
+
+    def test_make_closure_and_tail_call(self):
+        inner = self._add_one_template()
+        t = simple(
+            instruction(Op.MAKE_CLOSURE, Lit(inner), 0),
+            instruction(Op.PUSH),
+            instruction(Op.CONST, Lit(41)),
+            instruction(Op.PUSH),
+            instruction(Op.TAIL_CALL, 1),
+        )
+        assert run_template(t) == 42
+
+    def test_non_tail_call_returns_here(self):
+        inner = self._add_one_template()
+        t = simple(
+            instruction(Op.MAKE_CLOSURE, Lit(inner), 0),
+            instruction(Op.PUSH),
+            instruction(Op.CONST, Lit(10)),
+            instruction(Op.PUSH),
+            instruction(Op.CALL, 1),
+            instruction(Op.SETLOC, 0),
+            instruction(Op.LOCAL, 0),
+            instruction(Op.PUSH),
+            instruction(Op.CONST, Lit(100)),
+            instruction(Op.PUSH),
+            instruction(Op.PRIM, Lit(PRIMITIVES[sym("+")]), 2),
+            arity=1,
+        )
+        assert run_template(t, [0]) == 111
+
+    def test_closed_variables(self):
+        # inner: () -> closed[0]
+        inner = simple(instruction(Op.CLOSED, 0), arity=0, name="get")
+        t = simple(
+            instruction(Op.CONST, Lit(55)),
+            instruction(Op.PUSH),
+            instruction(Op.MAKE_CLOSURE, Lit(inner), 1),
+            instruction(Op.PUSH),
+            instruction(Op.TAIL_CALL, 0),
+        )
+        assert run_template(t) == 55
+
+    def test_arity_check(self):
+        inner = self._add_one_template()
+        t = simple(
+            instruction(Op.MAKE_CLOSURE, Lit(inner), 0),
+            instruction(Op.PUSH),
+            instruction(Op.TAIL_CALL, 0),
+        )
+        with pytest.raises(VMError, match="expected 1 arguments"):
+            run_template(t)
+
+    def test_apply_non_procedure(self):
+        t = simple(
+            instruction(Op.CONST, Lit(5)),
+            instruction(Op.PUSH),
+            instruction(Op.TAIL_CALL, 0),
+        )
+        with pytest.raises(VMError, match="non-procedure"):
+            run_template(t)
+
+    def test_prim_as_operator(self):
+        t = simple(
+            instruction(Op.CONST, Lit(PRIMITIVES[sym("car")])),
+            instruction(Op.PUSH),
+            instruction(Op.GLOBAL, Lit(sym("lst"))),
+            instruction(Op.PUSH),
+            instruction(Op.TAIL_CALL, 1),
+        )
+        from repro.runtime.values import scheme_list
+
+        assert run_template(t, [], {sym("lst"): scheme_list(1, 2)}) == 1
+
+    def test_machine_call_named(self):
+        inner = self._add_one_template()
+        m = Machine({sym("f"): VmClosure(inner, ())})
+        assert m.call_named(sym("f"), [4]) == 5
+
+    def test_call_non_closure_value_via_machine(self):
+        m = Machine()
+        with pytest.raises(VMError):
+            m.call(42, [])
+
+
+class TestAssembler:
+    def test_literal_sharing(self):
+        t = simple(
+            instruction(Op.CONST, Lit(42)),
+            instruction(Op.CONST, Lit(42)),
+        )
+        assert t.literals.count(42) == 1
+
+    def test_unresolved_label(self):
+        label = make_label()
+        frag = instruction_using_label(Op.JUMP, label)
+        with pytest.raises(AssemblyError, match="unresolved"):
+            assemble(frag, 0, 0)
+
+    def test_double_attached_label(self):
+        label = make_label()
+        frag = sequentially(
+            attach_label(label, instruction(Op.RETURN)),
+            attach_label(label, instruction(Op.RETURN)),
+        )
+        with pytest.raises(AssemblyError, match="twice"):
+            assemble(frag, 0, 0)
+
+    def test_label_on_non_branch_rejected(self):
+        label = make_label()
+        frag = sequentially(
+            instruction_using_label(Op.CONST, label),
+            attach_label(label, instruction(Op.RETURN)),
+        )
+        with pytest.raises(AssemblyError):
+            assemble(frag, 0, 0)
+
+    def test_nlocals_less_than_arity_rejected(self):
+        with pytest.raises(AssemblyError):
+            assemble(instruction(Op.RETURN), 2, 1)
+
+    def test_trailing_label_rejected(self):
+        label = make_label()
+        frag = sequentially(
+            instruction(Op.RETURN),
+            attach_label(label, sequentially()),
+        )
+        with pytest.raises(ValueError):
+            assemble(frag, 0, 0)
+
+    def test_disassemble_smoke(self):
+        inner = simple(instruction(Op.CLOSED, 0), arity=0, name="inner")
+        t = simple(
+            instruction(Op.CONST, Lit(1)),
+            instruction(Op.PUSH),
+            instruction(Op.MAKE_CLOSURE, Lit(inner), 1),
+        )
+        text = disassemble(t)
+        assert "MAKE_CLOSURE" in text
+        assert "inner" in text
+
+
+class TestDeepRecursionOnVM:
+    def test_tail_calls_run_in_constant_space(self):
+        # loop(n): if n == 0 return 'done else loop(n-1)   [self via global]
+        done = sym("done")
+        label = make_label()
+        frag = sequentially(
+            instruction(Op.LOCAL, 0),
+            instruction(Op.PUSH),
+            instruction(Op.CONST, Lit(0)),
+            instruction(Op.PUSH),
+            instruction(Op.PRIM, Lit(PRIMITIVES[sym("=")]), 2),
+            instruction_using_label(Op.JUMP_IF_FALSE, label),
+            instruction(Op.CONST, Lit(done)),
+            instruction(Op.RETURN),
+            attach_label(label, instruction(Op.GLOBAL, Lit(sym("loop")))),
+            instruction(Op.PUSH),
+            instruction(Op.LOCAL, 0),
+            instruction(Op.PUSH),
+            instruction(Op.CONST, Lit(1)),
+            instruction(Op.PUSH),
+            instruction(Op.PRIM, Lit(PRIMITIVES[sym("-")]), 2),
+            instruction(Op.PUSH),
+            instruction(Op.TAIL_CALL, 1),
+        )
+        t = assemble(frag, 1, 1, "loop")
+        m = Machine()
+        m.define(sym("loop"), VmClosure(t, ()))
+        assert m.call_named(sym("loop"), [500000]) is done
