@@ -56,19 +56,32 @@ def workloads():
 def fig6() -> None:
     print("## Figure 6 — Generation speed (ms, best of N)")
     print()
-    print("| workload | source code | object code | ratio | paper src (s) | paper obj (s) | paper ratio |")
-    print("|---|---|---|---|---|---|---|")
+    print(
+        "| workload | source code | object code | ratio |"
+        " object+verify | verify overhead |"
+        " paper src (s) | paper obj (s) | paper ratio |"
+    )
+    print("|---|---|---|---|---|---|---|---|---|")
     paper = {"MIXWELL": (3.072, 3.770), "LAZY": (1.832, 3.451)}
     for name, interp, sig, static in workloads():
         ext = make_generating_extension(interp, sig).compiled()
         t_src = best_of(lambda: ext.generate([static], backend=SourceBackend()))
         t_obj = best_of(
-            lambda: ext.generate([static], backend=ObjectCodeBackend())
+            lambda: ext.generate(
+                [static], backend=ObjectCodeBackend(verify=False)
+            )
+        )
+        t_ver = best_of(
+            lambda: ext.generate(
+                [static], backend=ObjectCodeBackend(verify=True)
+            )
         )
         p_src, p_obj = paper[name]
         print(
             f"| {name} | {ms(t_src)} | {ms(t_obj)} |"
-            f" {t_obj / t_src:.2f}x | {p_src} | {p_obj} |"
+            f" {t_obj / t_src:.2f}x | {ms(t_ver)} |"
+            f" {t_ver / t_obj:.2f}x |"
+            f" {p_src} | {p_obj} |"
             f" {p_obj / p_src:.2f}x |"
         )
     print()

@@ -19,6 +19,11 @@ source backend and residual object code through the fused backend.  The
 object-code timing includes the assembly/relocation step, exactly as in
 the paper.  Expected shape: object code generation slower than source,
 within a small constant factor.
+
+A third column measures the bytecode verifier's overhead: object-code
+generation with every emitted template verified at generation time
+(``ObjectCodeBackend(verify=True)``) against the bare paper-faithful
+timing (``verify=False``).
 """
 
 import pytest
@@ -32,7 +37,11 @@ def _generate_source(ext, static):
 
 
 def _generate_object(ext, static):
-    return ext.generate([static], backend=ObjectCodeBackend())
+    return ext.generate([static], backend=ObjectCodeBackend(verify=False))
+
+
+def _generate_object_verified(ext, static):
+    return ext.generate([static], backend=ObjectCodeBackend(verify=True))
 
 
 class TestFig6MIXWELL:
@@ -44,6 +53,14 @@ class TestFig6MIXWELL:
         result = benchmark(_generate_object, mixwell_ext, mixwell_static)
         assert result.machine is not None
 
+    def test_mixwell_object_code_verified(
+        self, benchmark, mixwell_ext, mixwell_static
+    ):
+        result = benchmark(
+            _generate_object_verified, mixwell_ext, mixwell_static
+        )
+        assert result.machine is not None
+
 
 class TestFig6LAZY:
     def test_lazy_source_code(self, benchmark, lazy_ext, lazy_static):
@@ -52,6 +69,10 @@ class TestFig6LAZY:
 
     def test_lazy_object_code(self, benchmark, lazy_ext, lazy_static):
         result = benchmark(_generate_object, lazy_ext, lazy_static)
+        assert result.machine is not None
+
+    def test_lazy_object_code_verified(self, benchmark, lazy_ext, lazy_static):
+        result = benchmark(_generate_object_verified, lazy_ext, lazy_static)
         assert result.machine is not None
 
 
@@ -84,4 +105,37 @@ class TestFig6Shape:
         # magnitude off source generation.
         assert t_object < 4.0 * t_source, (
             f"{workload}: object {t_object:.4f}s vs source {t_source:.4f}s"
+        )
+
+    @pytest.mark.parametrize("workload", ["mixwell", "lazy"])
+    def test_verifier_overhead_is_bounded(
+        self, workload, mixwell_ext, mixwell_static, lazy_ext, lazy_static
+    ):
+        """Verifying generated templates stays a small constant factor.
+
+        The verifier is one structural scan plus a linear worklist
+        fixpoint per template, so verified generation must stay within a
+        small multiple of bare generation — it is cheap enough to leave
+        on by default.
+        """
+        import time
+
+        ext, static = {
+            "mixwell": (mixwell_ext, mixwell_static),
+            "lazy": (lazy_ext, lazy_static),
+        }[workload]
+
+        def best_of(fn, n=5):
+            times = []
+            for _ in range(n):
+                t0 = time.perf_counter()
+                fn(ext, static)
+                times.append(time.perf_counter() - t0)
+            return min(times)
+
+        t_bare = best_of(_generate_object)
+        t_verified = best_of(_generate_object_verified)
+        assert t_verified < 3.0 * t_bare, (
+            f"{workload}: verified {t_verified:.4f}s"
+            f" vs bare {t_bare:.4f}s"
         )

@@ -21,6 +21,16 @@ annotate FILE --sig SIG [--goal NAME]
     Print the binding-time-annotated program (ACS notation: ``lift``,
     ``if^D``, ``lambda^D``, ``memo-call``).
 
+disasm FILE [--compiler auto|stock] [--verify]
+    Compile FILE and print the disassembly of every template, with block
+    labels at jump targets.  ``--verify`` appends each template's
+    verification report.
+
+lint FILE [--sig SIG] [--goal NAME]
+    Static checks: bytecode-verify every template FILE compiles to (both
+    backends), and — when ``--sig`` is given — re-check the BTA's output
+    with the congruence linter.  Exit status 1 if any error is found.
+
 combinators
     Print the generated code-generation combinator module (Act 3's file).
 """
@@ -55,7 +65,7 @@ def _data(items: list[str]) -> list:
 
 def cmd_run(args: argparse.Namespace) -> int:
     program = _load(args.file, args.goal, args.prelude)
-    compiled = compile_program(program, compiler="auto")
+    compiled = compile_program(program, compiler="auto", verify=args.verify)
     print(write_value(compiled.run(_data(args.args))))
     return 0
 
@@ -96,7 +106,7 @@ def cmd_rtcg(args: argparse.Namespace) -> int:
         memo_hints=args.memo or (),
         unfold_hints=args.unfold or (),
     )
-    backend = ObjectCodeBackend()
+    backend = ObjectCodeBackend(verify=args.verify)
     spec = Specializer(
         result.annotated, backend, dif_strategy=args.dif_strategy
     )
@@ -124,6 +134,63 @@ def cmd_annotate(args: argparse.Namespace) -> int:
         from repro.lang.ast import Def
 
         print(write(unparse_def(Def(d.name, d.params, d.body))))
+    return 0
+
+
+def cmd_disasm(args: argparse.Namespace) -> int:
+    from repro.vm.verify import check_template
+
+    program = _load(args.file, args.goal, args.prelude)
+    compiled = compile_program(
+        program, compiler=args.compiler, verify=False
+    )
+    status = 0
+    for name, template in compiled.templates.items():
+        print(disassemble(template))
+        if args.verify:
+            report = check_template(template)
+            if report.violations:
+                print(report.pretty())
+            else:
+                print(f";; {name}: verified ok")
+            if not report.ok:
+                status = 1
+        print()
+    return status
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.pe.check import check_bta
+    from repro.vm.verify import check_template
+
+    program = _load(args.file, args.goal, args.prelude)
+    errors = 0
+    warnings = 0
+    for backend in ("stock", "auto"):
+        compiled = compile_program(program, compiler=backend, verify=False)
+        for name, template in compiled.templates.items():
+            report = check_template(template)
+            if report.violations:
+                print(f";; [{backend}] template {name}:")
+                print(report.pretty())
+            errors += len(report.errors)
+            warnings += len(report.warnings)
+    if args.sig:
+        result = analyze(
+            program,
+            args.sig,
+            memo_hints=args.memo or (),
+            unfold_hints=args.unfold or (),
+        )
+        congruence = check_bta(result)
+        for v in congruence:
+            print(f";; [bta] {v}")
+        errors += len(congruence)
+    noun = "signature and bytecode" if args.sig else "bytecode"
+    if errors:
+        print(f";; lint: {errors} error(s), {warnings} warning(s)")
+        return 1
+    print(f";; lint: {noun} clean ({warnings} warning(s))")
     return 0
 
 
@@ -167,6 +234,10 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser("run", help="compile and run on the VM")
     common(p, needs_sig=False)
     p.add_argument("args", nargs="*", help="goal arguments (Scheme data)")
+    p.add_argument(
+        "--verify", action=argparse.BooleanOptionalAction, default=True,
+        help="bytecode-verify templates before running (default: on)",
+    )
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("interp", help="run through the reference interpreter")
@@ -185,11 +256,35 @@ def main(argv: list[str] | None = None) -> int:
         help="a dynamic argument (Scheme datum); repeatable",
     )
     p.add_argument("--disassemble", action="store_true")
+    p.add_argument(
+        "--verify", action=argparse.BooleanOptionalAction, default=True,
+        help="verify generated templates at generation time (default: on)",
+    )
     p.set_defaults(fn=cmd_rtcg)
 
     p = sub.add_parser("annotate", help="print the annotated program")
     common(p, needs_sig=True)
     p.set_defaults(fn=cmd_annotate)
+
+    p = sub.add_parser("disasm", help="print template disassembly")
+    common(p, needs_sig=False)
+    p.add_argument(
+        "--compiler", default="auto", choices=("auto", "stock", "anf")
+    )
+    p.add_argument(
+        "--verify", action="store_true",
+        help="append each template's verification report",
+    )
+    p.set_defaults(fn=cmd_disasm)
+
+    p = sub.add_parser(
+        "lint", help="bytecode-verify templates; lint BTA output with --sig"
+    )
+    common(p, needs_sig=False)
+    p.add_argument("--sig", help="binding-time signature, e.g. SD")
+    p.add_argument("--memo", action="append", help="memoization hint")
+    p.add_argument("--unfold", action="append", help="unfold hint")
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("combinators", help="print the generated combinators")
     p.set_defaults(fn=cmd_combinators)

@@ -38,7 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
-from repro.compiler.cenv import Closed, CompileTimeEnv, Global, Local
+from repro.compiler.cenv import Closed, CompileTimeEnv, Local
 from repro.lang.prims import PRIMITIVES, PrimSpec
 from repro.runtime.values import datum_to_value
 from repro.sexp.datum import Symbol

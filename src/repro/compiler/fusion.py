@@ -52,6 +52,7 @@ from repro.sexp.datum import Symbol
 from repro.vm.assembler import assemble
 from repro.vm.machine import Machine, VmClosure
 from repro.vm.template import Template
+from repro.vm.verify import verify_template
 
 _EMPTY: frozenset = frozenset()
 
@@ -93,11 +94,17 @@ class BodyCode:
 
 
 class ObjectCodeBackend:
-    """The fused backend: residual programs materialize as VM templates."""
+    """The fused backend: residual programs materialize as VM templates.
 
-    def __init__(self) -> None:
+    ``verify`` runs the bytecode verifier over every template as it is
+    relocated — RTCG-generated code is checked at generation time, before
+    it is installed in the machine.
+    """
+
+    def __init__(self, verify: bool = True) -> None:
         self.machine = Machine()
         self.templates: dict[Symbol, Template] = {}
+        self.verify = verify
 
     # -- trivial constructors ----------------------------------------------------
 
@@ -185,6 +192,8 @@ class ObjectCodeBackend:
         template = assemble(
             fragment, len(params), tracker.max_depth, name.name
         )
+        if self.verify:
+            verify_template(template)
         self.templates[name] = template
         self.machine.define(name, VmClosure(template, ()))
 

@@ -2,17 +2,17 @@
 
 from __future__ import annotations
 
-import time
 from typing import Any, Sequence
 
 from repro.anf.convert import anf_convert_program
 from repro.anf.grammar import is_anf_program
 from repro.compiler.anf_compiler import ANFCompiler
 from repro.compiler.stock import StockCompiler
-from repro.lang.ast import Def, Program
+from repro.lang.ast import Program
 from repro.sexp.datum import Symbol
 from repro.vm.machine import Machine, VmClosure
 from repro.vm.template import Template
+from repro.vm.verify import verify_template
 
 
 class CompiledProgram:
@@ -40,6 +40,7 @@ class CompiledProgram:
 def compile_program(
     program: Program,
     compiler: str = "auto",
+    verify: bool = True,
 ) -> CompiledProgram:
     """Compile every definition of ``program``.
 
@@ -49,6 +50,10 @@ def compile_program(
     * ``"stock"`` — the stock compiler (any CS program);
     * ``"auto"``  — ANF compiler when the program is already in ANF,
       otherwise normalize first and use the ANF compiler.
+
+    ``verify`` runs the bytecode verifier over every emitted template
+    (:mod:`repro.vm.verify`); a compiler bug is rejected here instead of
+    crashing the machine mid-run.
     """
     program_names = frozenset(d.name for d in program.defs)
     from repro.lang.assignment import eliminate_assignments, has_assignments
@@ -61,18 +66,21 @@ def compile_program(
             d.name: stock.compile_procedure(d.params, d.body, name=d.name.name)
             for d in program.defs
         }
-        return CompiledProgram(templates, program.goal)
-    if compiler == "anf":
-        if not is_anf_program(program):
-            raise ValueError("program is not in ANF; use compiler='auto'")
-    elif compiler == "auto":
-        if not is_anf_program(program):
-            program = anf_convert_program(program)
     else:
-        raise ValueError(f"unknown compiler {compiler!r}")
-    anf = ANFCompiler(check=False, globals_=program_names)
-    templates = {
-        d.name: anf.compile_procedure(d.params, d.body, name=d.name.name)
-        for d in program.defs
-    }
+        if compiler == "anf":
+            if not is_anf_program(program):
+                raise ValueError("program is not in ANF; use compiler='auto'")
+        elif compiler == "auto":
+            if not is_anf_program(program):
+                program = anf_convert_program(program)
+        else:
+            raise ValueError(f"unknown compiler {compiler!r}")
+        anf = ANFCompiler(check=False, globals_=program_names)
+        templates = {
+            d.name: anf.compile_procedure(d.params, d.body, name=d.name.name)
+            for d in program.defs
+        }
+    if verify:
+        for template in templates.values():
+            verify_template(template)
     return CompiledProgram(templates, program.goal)

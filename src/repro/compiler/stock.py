@@ -22,7 +22,7 @@ from enum import Enum
 
 from repro.compiler.anf_compiler import CompileError, _DepthTracker
 from repro.compiler.cenv import Closed, CompileTimeEnv, Local
-from repro.lang.ast import App, Const, Def, Expr, If, Lam, Let, Prim, Var
+from repro.lang.ast import App, Const, Expr, If, Lam, Let, Prim, Var
 from repro.lang.freevars import free_variables
 from repro.lang.prims import PRIMITIVES
 from repro.runtime.values import datum_to_value

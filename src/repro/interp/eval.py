@@ -16,7 +16,6 @@ from typing import Any, Sequence
 from repro.lang.ast import (
     App,
     Const,
-    Def,
     Expr,
     If,
     Lam,

@@ -27,7 +27,6 @@ from repro.lang.ast import (
     Program,
     SetBang,
     Var,
-    walk,
 )
 from repro.lang.freevars import free_variables
 from repro.lang.gensym import Gensym

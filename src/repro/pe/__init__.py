@@ -11,6 +11,8 @@ Subsystems:
 * :mod:`repro.pe.fig3` — a literal, expression-level transliteration of
   Fig. 3 used to validate the production engine;
 * :mod:`repro.pe.bta` — binding-time analysis with a closure analysis;
+* :mod:`repro.pe.check` — the independent congruence linter over the
+  BTA's output (well-annotatedness re-checked after the fact);
 * :mod:`repro.pe.annotate` — producing Annotated Core Scheme;
 * :mod:`repro.pe.cogen` — generating extensions (compiled specializers).
 """
@@ -23,6 +25,14 @@ from repro.pe.annprog import (
 )
 from repro.pe.backend import Backend, ResidualProgram, SourceBackend
 from repro.pe.bta import BTAResult, analyze, prepare
+from repro.pe.check import (
+    AnnotationViolation,
+    CongruenceKind,
+    CongruenceViolation,
+    check_annotated,
+    check_bta,
+    verify_annotated,
+)
 from repro.pe.errors import BindingTimeError, PEError, SpecializationError
 from repro.pe.specializer import Specializer, specialize
 from repro.pe.values import Dynamic, SpecClosure, Static
@@ -30,10 +40,13 @@ from repro.pe.values import Dynamic, SpecClosure, Static
 __all__ = [
     "AnnDef",
     "AnnotatedProgram",
+    "AnnotationViolation",
     "Backend",
     "BindingTime",
     "BindingTimeError",
     "BTAResult",
+    "CongruenceKind",
+    "CongruenceViolation",
     "Dynamic",
     "PEError",
     "ResidualProgram",
@@ -43,7 +56,10 @@ __all__ = [
     "SpecializationError",
     "Static",
     "analyze",
+    "check_annotated",
+    "check_bta",
     "parse_signature",
     "prepare",
     "specialize",
+    "verify_annotated",
 ]

@@ -50,7 +50,6 @@ from repro.pe.values import (
     Dynamic,
     FreezeCache,
     Static,
-    freeze_static,
     is_first_order,
 )
 from repro.runtime.errors import SchemeError

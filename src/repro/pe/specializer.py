@@ -55,13 +55,12 @@ from repro.pe.values import (
     FreezeCache,
     SpecClosure,
     Static,
-    freeze_static,
     is_first_order,
 )
 from repro.interp import PrimProcedure
 from repro.runtime.errors import SchemeError
 from repro.runtime.values import datum_to_value, is_truthy
-from repro.sexp.datum import Symbol, sym
+from repro.sexp.datum import Symbol
 
 S = BindingTime.STATIC
 D = BindingTime.DYNAMIC

@@ -34,6 +34,7 @@ class GeneratingExtension:
         goal: str | None = None,
         memo_hints: Iterable[str] = (),
         unfold_hints: Iterable[str] = (),
+        check_congruence: bool = True,
     ):
         if isinstance(program, str):
             program = parse_program(program, goal=goal)
@@ -42,6 +43,13 @@ class GeneratingExtension:
         self.bta: BTAResult = analyze(
             program, signature, memo_hints=memo_hints, unfold_hints=unfold_hints
         )
+        if check_congruence:
+            # Re-check the analysis output with the independent linter: a
+            # BTA bug surfaces here as an AnnotationViolation instead of a
+            # mis-specialized program.
+            from repro.pe.check import verify_annotated
+
+            verify_annotated(self.bta.annotated)
 
     def compiled(self) -> "CompiledGeneratingExtension":
         """Compile this generating extension (the cogen path, [59]).
@@ -63,11 +71,20 @@ class GeneratingExtension:
         ).run(static_args)
 
     def to_object_code(
-        self, static_args: Sequence[Any], dif_strategy: str = "duplicate"
+        self,
+        static_args: Sequence[Any],
+        dif_strategy: str = "duplicate",
+        verify: bool = True,
     ) -> ResidualProgram:
-        """Generate residual *object code* directly (the fused system)."""
+        """Generate residual *object code* directly (the fused system).
+
+        ``verify`` bytecode-verifies every generated template at
+        generation time (:mod:`repro.vm.verify`).
+        """
         return Specializer(
-            self.bta.annotated, ObjectCodeBackend(), dif_strategy=dif_strategy
+            self.bta.annotated,
+            ObjectCodeBackend(verify=verify),
+            dif_strategy=dif_strategy,
         ).run(static_args)
 
     def __call__(self, static_args: Sequence[Any]) -> ResidualProgram:

@@ -18,7 +18,7 @@ from __future__ import annotations
 from typing import Any, Iterator
 
 from repro.runtime.errors import PrimitiveError
-from repro.sexp.datum import Char, Symbol
+from repro.sexp.datum import Char
 
 
 class Nil:

@@ -26,6 +26,15 @@ from repro.vm.fragments import (
 from repro.vm.instructions import Op
 from repro.vm.machine import Machine, VmClosure, VMError
 from repro.vm.template import Template
+from repro.vm.verify import (
+    VerificationError,
+    VerifyReport,
+    Violation,
+    ViolationKind,
+    check_template,
+    verify_template,
+    verify_templates,
+)
 
 __all__ = [
     "EMPTY",
@@ -37,13 +46,20 @@ __all__ = [
     "Op",
     "Seq",
     "Template",
+    "VerificationError",
+    "VerifyReport",
+    "Violation",
+    "ViolationKind",
     "VMError",
     "VmClosure",
     "assemble",
     "attach_label",
+    "check_template",
     "disassemble",
     "instruction",
     "instruction_using_label",
     "make_label",
     "sequentially",
+    "verify_template",
+    "verify_templates",
 ]

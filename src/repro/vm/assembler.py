@@ -10,8 +10,8 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.vm.fragments import Fragment, Instr, Label, Lit, iter_instructions
-from repro.vm.instructions import BRANCH_OPS, Op
+from repro.vm.fragments import Fragment, Label, Lit, iter_instructions
+from repro.vm.instructions import BRANCH_OPS
 from repro.vm.template import Template
 
 

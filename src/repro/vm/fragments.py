@@ -16,7 +16,7 @@ Scheme 48's internal relocation step, which Fig. 6's measurements include.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Iterator, Tuple, Union
 
 from repro.vm.instructions import Op

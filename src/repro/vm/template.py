@@ -7,7 +7,7 @@ through the literal frame.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Tuple
 
 

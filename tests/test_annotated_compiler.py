@@ -26,7 +26,7 @@ from repro.compiler.annotated import (
     make_residual_variable,
 )
 from repro.compiler.cenv import CompileTimeEnv
-from repro.lang import parse_expr, parse_program
+from repro.lang import parse_expr
 from repro.lang.prims import PRIMITIVES
 from repro.sexp import sym
 from repro.vm import Machine, VmClosure, assemble, disassemble

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.lang import DApp, DIf, DLam, DPrim, Lam, Lift, MemoCall, Prim, parse_program, walk
+from repro.lang import DApp, DIf, DLam, DPrim, Lam, Lift, MemoCall, parse_program, walk
 from repro.pe import BindingTime, BindingTimeError, analyze, parse_signature
 from repro.pe.bta import prepare
 from repro.sexp import sym
@@ -183,7 +183,7 @@ class TestPrepare:
         assert len(names) == len(set(names))
 
     def test_eta_expansion_of_escaping_defs(self):
-        from repro.lang import App, Var
+        from repro.lang import App
 
         program = parse_program(
             """

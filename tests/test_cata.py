@@ -16,11 +16,7 @@ from repro.cata import (
 from repro.cata.fusion_law import unfused
 from repro.interp import Interpreter
 from repro.lang import (
-    App,
-    Const,
-    Lam,
     Prim,
-    Var,
     count_nodes,
     free_variables,
     parse_expr,

@@ -107,3 +107,55 @@ class TestCombinatorsCommand:
         out = capsys.readouterr().out
         assert "def make_residual_if" in out
         assert "make_label()" in out
+
+
+class TestStaticAnalysisCommands:
+    def test_lint_clean_bytecode_only(self, power_file, capsys):
+        assert main(["lint", power_file, "--goal", "power"]) == 0
+        out = capsys.readouterr().out
+        assert "bytecode clean" in out
+
+    def test_lint_with_signature(self, power_file, capsys):
+        assert main(
+            ["lint", power_file, "--goal", "power", "--sig", "DS"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "signature and bytecode clean" in out
+
+    def test_disasm_prints_templates(self, power_file, capsys):
+        assert main(["disasm", power_file, "--goal", "power"]) == 0
+        out = capsys.readouterr().out
+        assert "template power" in out
+        assert "JUMP_IF_FALSE" in out
+        # Jump targets get block labels.
+        assert "-> L0" in out
+        assert "L0:" in out
+
+    def test_disasm_verify_reports_ok(self, power_file, capsys):
+        assert main(
+            ["disasm", power_file, "--goal", "power", "--verify"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "verified ok" in out
+
+    def test_disasm_stock_compiler(self, power_file, capsys):
+        assert main(
+            ["disasm", power_file, "--goal", "power",
+             "--compiler", "stock"]
+        ) == 0
+        assert "template power" in capsys.readouterr().out
+
+    def test_run_no_verify(self, power_file, capsys):
+        assert main(
+            ["run", power_file, "2", "5", "--goal", "power", "--no-verify"]
+        ) == 0
+        assert capsys.readouterr().out.strip() == "32"
+
+    def test_rtcg_no_verify(self, power_file, capsys):
+        assert main(
+            [
+                "rtcg", power_file, "--goal", "power", "--sig", "DS",
+                "--static", "3", "--dynamic", "2", "--no-verify",
+            ]
+        ) == 0
+        assert capsys.readouterr().out.strip() == "8"

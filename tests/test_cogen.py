@@ -7,7 +7,6 @@ from repro.lang import Gensym, parse_program, unparse_program
 from repro.pe import SourceBackend, Specializer, analyze
 from repro.pe.cogen import compile_generating_extension
 from repro.pe.errors import SpecializationError
-from repro.runtime.values import datum_to_value, scheme_equal, value_to_datum
 from repro.sexp import write
 
 

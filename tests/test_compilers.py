@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from repro.anf import anf_convert
 from repro.compiler import ANFCompiler, StockCompiler, compile_program
 from repro.compiler.anf_compiler import CompileError, compile_anf_expr
-from repro.interp import Interpreter, run_program
+from repro.interp import Interpreter
 from repro.lang import parse_expr, parse_program
 from repro.runtime.values import scheme_equal
 from repro.sexp import sym

@@ -13,7 +13,7 @@ from repro.anf import is_anf_program
 from repro.compiler import ObjectCodeBackend
 from repro.lang import count_nodes, parse_program
 from repro.pe import SourceBackend, Specializer, analyze
-from repro.runtime.values import datum_to_value, scheme_equal
+from repro.runtime.values import scheme_equal
 
 
 def make_chain(n: int) -> str:
@@ -95,8 +95,6 @@ class TestSizeBehaviour:
         src = "(define (f d) (if (zero? d) 'a 'b))"
         a = specialize_with(src, "D", [], "duplicate")
         b = specialize_with(src, "D", [], "join")
-        from repro.lang import unparse_program
-        from repro.sexp import write
 
         # Modulo fresh names: compare shapes via node counts.
         assert sum(count_nodes(d.body) for d in a.program.defs) == sum(

@@ -19,9 +19,8 @@ from repro.lang import (
     Prim,
     Var,
 )
-from repro.pe import BindingTimeError, Dynamic, SourceBackend, Static
+from repro.pe import BindingTimeError, Dynamic, SourceBackend
 from repro.pe.fig3 import Fig3Specializer
-from repro.runtime.values import datum_to_value
 from repro.sexp import sym
 
 x, y, f, d = sym("x"), sym("y"), sym("f"), sym("d")

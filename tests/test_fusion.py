@@ -13,7 +13,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.compiler import ObjectCodeBackend, compile_program
-from repro.interp import run_program
 from repro.lang import parse_program
 from repro.pe import SourceBackend, Specializer, analyze
 from repro.runtime.values import datum_to_value, scheme_equal

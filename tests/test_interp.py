@@ -3,9 +3,9 @@
 import pytest
 
 from repro.interp import Interpreter, StepLimitExceeded, run_program
-from repro.lang import parse_expr, parse_program
+from repro.lang import parse_program
 from repro.runtime.errors import SchemeError
-from repro.runtime.values import NIL, Pair, scheme_equal, scheme_list
+from repro.runtime.values import Pair, scheme_equal, scheme_list
 from repro.sexp import sym
 from tests.helpers import interp_datum, interp_expr
 

@@ -4,7 +4,7 @@ import pytest
 
 from repro.lang import Gensym, parse_expr, parse_program
 from repro.runtime.errors import PrimitiveError, SchemeError
-from repro.sexp import sym, write
+from repro.sexp import sym
 from tests.helpers import interp_expr
 
 

@@ -1,6 +1,5 @@
 """Tests for the prelude library, on every execution path."""
 
-import pytest
 
 from repro.compiler import compile_program
 from repro.interp import run_program

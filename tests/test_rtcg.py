@@ -1,10 +1,9 @@
 """Tests for the top-level RTCG API and end-to-end properties."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.interp import Interpreter, run_program
-from repro.lang import parse_expr, parse_program
+from repro.interp import run_program
+from repro.lang import parse_program
 from repro.rtcg import (
     GeneratingExtension,
     make_generating_extension,

@@ -12,7 +12,6 @@ from repro.anf import is_anf_program
 from repro.interp import run_program
 from repro.lang import parse_program
 from repro.pe import (
-    BindingTimeError,
     SourceBackend,
     SpecializationError,
     Specializer,
@@ -20,7 +19,7 @@ from repro.pe import (
     specialize,
 )
 from repro.runtime.values import datum_to_value, scheme_equal, value_to_datum
-from repro.sexp import read, sym
+from repro.sexp import sym
 
 
 def residual_source(src, signature, static_args, goal=None, **kw):

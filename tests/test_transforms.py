@@ -7,8 +7,6 @@ from repro.lang import (
     App,
     Lam,
     Let,
-    SetBang,
-    Var,
     alpha_rename,
     beta_let,
     beta_let_program,
@@ -22,7 +20,7 @@ from repro.lang import (
 )
 from repro.lang.assignment import assigned_variables
 from repro.sexp import sym
-from tests.strategies import arith_exprs, higher_order_exprs
+from tests.strategies import higher_order_exprs
 
 
 def _bound_names(program):

@@ -7,7 +7,6 @@ from repro.sexp import sym
 from repro.vm import (
     Machine,
     Op,
-    Template,
     VMError,
     VmClosure,
     assemble,

@@ -4,15 +4,12 @@ projections through both backends, and the interpreter-size claims."""
 import pytest
 
 from repro.compiler import compile_program
-from repro.interp import run_program
 from repro.runtime.values import datum_to_value, scheme_equal, value_to_datum
 from repro.rtcg import make_generating_extension
 from repro.workloads import (
-    LAZY_GOAL,
     LAZY_PRIMES_PROGRAM,
     LAZY_SIGNATURE,
     LAZY_SOURCE,
-    MIXWELL_GOAL,
     MIXWELL_SIGNATURE,
     MIXWELL_SOURCE,
     MIXWELL_TM_PROGRAM,
