@@ -20,6 +20,14 @@ from repro.workloads import (
 )
 
 
+def pytest_collection_modifyitems(items):
+    """Every test in this directory is a benchmark: mark it ``bench`` so
+    CI (and quick local runs) can deselect with ``-m "not bench"``."""
+    bench = pytest.mark.bench
+    for item in items:
+        item.add_marker(bench)
+
+
 @pytest.fixture(scope="session")
 def mixwell_gen():
     return make_generating_extension(mixwell_interpreter(), MIXWELL_SIGNATURE)

@@ -31,6 +31,11 @@ lint FILE [--sig SIG] [--goal NAME]
     backends), and — when ``--sig`` is given — re-check the BTA's output
     with the congruence linter.  Exit status 1 if any error is found.
 
+stats FILE --sig SIG [--static DATUM ...] [--repeat N]
+    Build a generating extension, apply it N times to the same static
+    input, and print residual-cache statistics: cold generation time,
+    cached lookup time, amortized speedup, hit/miss/eviction counters.
+
 combinators
     Print the generated code-generation combinator module (Act 3's file).
 """
@@ -194,6 +199,58 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.rtcg import GeneratingExtension
+
+    program = _load(args.file, args.goal, args.prelude)
+    gen = GeneratingExtension(
+        program,
+        args.sig,
+        memo_hints=args.memo or (),
+        unfold_hints=args.unfold or (),
+        cache_size=args.cache_size,
+    )
+    static = _data(args.static or [])
+    generate = {
+        "object": lambda: gen.to_object_code(
+            static, dif_strategy=args.dif_strategy
+        ),
+        "source": lambda: gen.to_source(
+            static, dif_strategy=args.dif_strategy
+        ),
+    }[args.backend]
+
+    t0 = time.perf_counter()
+    residual = generate()
+    cold = time.perf_counter() - t0
+    warm_times = []
+    for _ in range(max(args.repeat - 1, 1)):
+        t0 = time.perf_counter()
+        generate()
+        warm_times.append(time.perf_counter() - t0)
+    warm = min(warm_times)
+    stats = gen.cache_stats()
+    print(f"backend:             {args.backend}")
+    print(f"dif strategy:        {args.dif_strategy}")
+    print(f"residual defs:       {residual.stats.get('residual_defs', '?')}")
+    print(f"cold generation:     {cold * 1e3:.3f} ms")
+    print(f"cached application:  {warm * 1e3:.3f} ms")
+    speedup = cold / warm if warm > 0 else float("inf")
+    print(f"amortized speedup:   {speedup:.1f}x")
+    print(
+        f"cache:               {stats['hits']} hit(s),"
+        f" {stats['misses']} miss(es), {stats['evictions']} eviction(s),"
+        f" {stats['entries']}/{stats['maxsize']} entries"
+    )
+    print(
+        f"generation time:     {stats['generation_seconds'] * 1e3:.3f} ms"
+        " total in cache misses"
+    )
+    return 0
+
+
 def cmd_combinators(args: argparse.Namespace) -> int:
     from repro.compiler.combinator_source import emit_combinator_module
 
@@ -285,6 +342,23 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--memo", action="append", help="memoization hint")
     p.add_argument("--unfold", action="append", help="unfold hint")
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser(
+        "stats", help="residual-cache statistics for repeated application"
+    )
+    common(p, needs_sig=True)
+    p.add_argument(
+        "--repeat", type=int, default=5,
+        help="number of applications (default: 5)",
+    )
+    p.add_argument(
+        "--backend", default="object", choices=("object", "source"),
+    )
+    p.add_argument(
+        "--cache-size", type=int, default=128, dest="cache_size",
+        help="residual-cache capacity (default: 128)",
+    )
+    p.set_defaults(fn=cmd_stats)
 
     p = sub.add_parser("combinators", help="print the generated combinators")
     p.set_defaults(fn=cmd_combinators)

@@ -105,6 +105,10 @@ class ObjectCodeBackend:
         self.machine = Machine()
         self.templates: dict[Symbol, Template] = {}
         self.verify = verify
+        # Cache-key discriminator: verified and unverified generation
+        # must not share residual-cache entries (a hit skips generation,
+        # and with it generation-time verification).
+        self.kind = "object" if verify else "object-unverified"
 
     # -- trivial constructors ----------------------------------------------------
 

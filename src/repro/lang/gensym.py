@@ -8,15 +8,22 @@ front end never accepts in user identifiers it binds.
 
 from __future__ import annotations
 
+import itertools
+
 from repro.sexp.datum import Symbol, sym
 
 
 class Gensym:
-    """A counter-based fresh-name supply."""
+    """A counter-based fresh-name supply.
+
+    Thread-safe: the counter is an :func:`itertools.count`, whose
+    ``next()`` is atomic under the GIL, so a supply shared between
+    concurrent specialization runs never hands out the same name twice.
+    """
 
     def __init__(self, prefix: str = "g"):
         self._prefix = prefix
-        self._counter = 0
+        self._counter = itertools.count(1)
 
     def fresh(self, hint: str | Symbol | None = None) -> Symbol:
         """Return a fresh symbol, optionally based on ``hint``."""
@@ -24,8 +31,7 @@ class Gensym:
         if hint is not None:
             base = hint.name if isinstance(hint, Symbol) else str(hint)
             base = base.split("%")[0] or self._prefix
-        self._counter += 1
-        return sym(f"{base}%{self._counter}")
+        return sym(f"{base}%{next(self._counter)}")
 
     def reset(self) -> None:
-        self._counter = 0
+        self._counter = itertools.count(1)

@@ -34,6 +34,8 @@ from repro.pe.check import (
     verify_annotated,
 )
 from repro.pe.errors import BindingTimeError, PEError, SpecializationError
+from repro.pe.limits import ensure_recursion_limit
+from repro.pe.residual_cache import ResidualCache
 from repro.pe.specializer import Specializer, specialize
 from repro.pe.values import Dynamic, SpecClosure, Static
 
@@ -49,6 +51,7 @@ __all__ = [
     "CongruenceViolation",
     "Dynamic",
     "PEError",
+    "ResidualCache",
     "ResidualProgram",
     "SourceBackend",
     "SpecClosure",
@@ -58,6 +61,7 @@ __all__ = [
     "analyze",
     "check_annotated",
     "check_bta",
+    "ensure_recursion_limit",
     "parse_signature",
     "prepare",
     "specialize",

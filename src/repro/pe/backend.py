@@ -45,6 +45,11 @@ from repro.sexp.datum import Symbol
 class Backend(Protocol):
     """What the specializer needs from a residual-code constructor set."""
 
+    #: Cache-key discriminator: which artifact this backend produces
+    #: (``"source"``, ``"object"``, ...).  Residual programs generated
+    #: through different kinds must never share a memo-cache entry.
+    kind: str
+
     def const(self, value: Any) -> Any: ...
 
     def var(self, name: Symbol) -> Any: ...
@@ -91,9 +96,35 @@ class ResidualProgram:
 
         return run_program(self.program, list(args))
 
+    def fingerprint(self) -> str:
+        """A stable textual identity for the residual artifact.
+
+        Two residual programs with equal fingerprints contain the same
+        code, byte for byte: the disassembly of every installed template
+        (object code) or the unparsed definitions (source).  Used by the
+        cache/concurrency tests to assert that regeneration and cache
+        hits produce identical code.
+        """
+        if self.machine is not None:
+            from repro.vm.disasm import disassemble
+            from repro.vm.machine import VmClosure
+
+            parts = []
+            for name in sorted(self.machine.globals, key=lambda s: s.name):
+                value = self.machine.globals[name]
+                if isinstance(value, VmClosure):
+                    parts.append(disassemble(value.template))
+            return "\n".join(parts)
+        from repro.lang.unparse import unparse_program
+        from repro.sexp.writer import write
+
+        return "\n".join(write(d) for d in unparse_program(self.program))
+
 
 class SourceBackend:
     """Builds residual programs as CS abstract syntax (always in ANF)."""
+
+    kind = "source"
 
     def __init__(self) -> None:
         self.defs: list[Def] = []

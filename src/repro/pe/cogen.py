@@ -20,7 +20,6 @@ programs modulo fresh names, same results).
 
 from __future__ import annotations
 
-import sys
 from collections import deque
 from typing import Any, Callable, Sequence
 
@@ -46,10 +45,13 @@ from repro.interp import PrimProcedure
 from repro.pe.annprog import AnnDef, AnnotatedProgram, BindingTime
 from repro.pe.backend import Backend, ResidualProgram, SourceBackend
 from repro.pe.errors import BindingTimeError, SpecializationError
+from repro.pe.limits import ensure_recursion_limit
+from repro.pe.residual_cache import ResidualCache
 from repro.pe.values import (
     Dynamic,
     FreezeCache,
     Static,
+    freeze_static,
     is_first_order,
 )
 from repro.runtime.errors import SchemeError
@@ -144,10 +146,17 @@ def _insert_let(rt: _Runtime, serious: Any, k: Callable) -> Any:
 
 
 class CompiledGeneratingExtension:
-    """An annotated program compiled to a generating extension."""
+    """An annotated program compiled to a generating extension.
 
-    def __init__(self, annotated: AnnotatedProgram):
+    ``cache_size`` bounds an optional cross-invocation residual-code
+    cache (see :mod:`repro.pe.residual_cache`); ``generate`` consults it
+    only when asked (``use_cache=True``), so timing-sensitive callers
+    keep measuring real generation by default.
+    """
+
+    def __init__(self, annotated: AnnotatedProgram, cache_size: int = 128):
         self.annotated = annotated
+        self.cache = ResidualCache(cache_size)
         self._defs: dict[Symbol, tuple[AnnDef, GenCode]] = {}
         for d in annotated.defs:
             self._defs[d.name] = (d, self._comp(d.body))
@@ -160,8 +169,44 @@ class CompiledGeneratingExtension:
         backend: Backend | None = None,
         max_residual_defs: int = 10_000,
         name_gensym: Gensym | None = None,
+        use_cache: bool = False,
     ) -> ResidualProgram:
-        """Map static input to a residual program."""
+        """Map static input to a residual program.
+
+        With ``use_cache=True`` the result is served from (and stored
+        into) the extension's residual-code cache, keyed by the frozen
+        static arguments and the backend kind; the ``backend`` argument
+        then only determines the key's kind on a hit.
+        """
+        if use_cache and self.cache.maxsize > 0:
+            kind = getattr(backend, "kind", None) or (
+                "source" if backend is None else type(backend).__name__
+            )
+            key = (
+                tuple(freeze_static(a) for a in static_args),
+                "duplicate",  # the cogen path always duplicates (Fig. 3)
+                kind,
+            )
+            result, hit = self.cache.get_or_generate(
+                key,
+                lambda: self._generate(
+                    static_args, backend, max_residual_defs, name_gensym
+                ),
+            )
+            result.stats["cache_hit"] = hit
+            result.stats["cache"] = self.cache.stats()
+            return result
+        return self._generate(
+            static_args, backend, max_residual_defs, name_gensym
+        )
+
+    def _generate(
+        self,
+        static_args: Sequence[Any],
+        backend: Backend | None = None,
+        max_residual_defs: int = 10_000,
+        name_gensym: Gensym | None = None,
+    ) -> ResidualProgram:
         backend = backend if backend is not None else SourceBackend()
         from repro.pe.specializer import Specializer
 
@@ -184,13 +229,10 @@ class CompiledGeneratingExtension:
                 args.append(Static(next(it)))
             else:
                 args.append(Dynamic(backend.var(p)))
-        old_limit = sys.getrecursionlimit()
-        sys.setrecursionlimit(max(old_limit, 100_000))
-        try:
-            residual_goal, dyn_params = self._memoize(rt, goal, args)
-            self._drain(rt)
-        finally:
-            sys.setrecursionlimit(old_limit)
+        # One-time process-wide floor; never restored (see pe.limits).
+        ensure_recursion_limit()
+        residual_goal, dyn_params = self._memoize(rt, goal, args)
+        self._drain(rt)
         result = backend.finish(residual_goal, dyn_params)
         result.stats["residual_defs"] = rt.residual_def_count
         return result
@@ -500,7 +542,7 @@ def _freeze(value: Any, cache: FreezeCache) -> Any:
 
 
 def compile_generating_extension(
-    annotated: AnnotatedProgram,
+    annotated: AnnotatedProgram, cache_size: int = 128
 ) -> CompiledGeneratingExtension:
     """Compile an annotated program into a generating extension."""
-    return CompiledGeneratingExtension(annotated)
+    return CompiledGeneratingExtension(annotated, cache_size=cache_size)

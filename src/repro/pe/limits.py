@@ -1,0 +1,37 @@
+"""Process-wide interpreter limits for deep specialization runs.
+
+The continuation-passing specializer and the compiled generating
+extensions recurse to a depth proportional to the residual program, so
+they need a large Python recursion limit.  Early versions saved the
+current limit, raised it, and restored it in a ``finally`` — which is
+not reentrant: a nested run (a generating extension invoked from inside
+a backend callback) or two concurrent runs clobber each other's restore,
+leaving the process with whichever stale value happened to be written
+last.
+
+Instead the limit is treated as a **one-time process-wide floor**: every
+run calls :func:`ensure_recursion_limit`, which only ever *raises* the
+limit (never lowers, never restores).  The operation is monotone and
+idempotent, so nesting and concurrency are trivially safe.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+
+#: The recursion depth the specialization engines are entitled to.
+RECURSION_FLOOR = 100_000
+
+_lock = threading.Lock()
+
+
+def ensure_recursion_limit(floor: int = RECURSION_FLOOR) -> None:
+    """Raise the interpreter recursion limit to at least ``floor``.
+
+    Never lowers the limit and never restores a previous value; safe to
+    call from nested runs and from multiple threads.
+    """
+    with _lock:
+        if sys.getrecursionlimit() < floor:
+            sys.setrecursionlimit(floor)

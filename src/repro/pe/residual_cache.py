@@ -1,0 +1,150 @@
+"""A cross-invocation cache for generated residual programs.
+
+The paper's central payoff is that a generating extension is "built once
+... then applied any number of times to static inputs" (§3).  Amortizing
+the build cost requires the *application* side to be cheap too: applying
+an extension twice to the same static input should not re-run the
+specializer and re-assemble identical object code.  This module provides
+the memo table that makes repeated application a lookup.
+
+:class:`ResidualCache` is a bounded LRU keyed by
+
+    ``(frozen static arguments, dif strategy, backend kind)``
+
+where the static arguments are frozen with §6.4's static-value freezing
+(:func:`repro.pe.values.freeze_static` — fully hashable canonical
+tuples), so two structurally equal static inputs share one entry.
+
+Concurrency: a single lock guards the table, and generation is
+*single-flight* — when several threads miss on the same key at once,
+exactly one runs the specializer while the others wait and receive the
+same :class:`~repro.pe.backend.ResidualProgram` object.  This both
+avoids duplicated work and guarantees byte-identical residual code per
+static input under concurrent load.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+
+class _Flight:
+    """One in-progress generation, awaited by late-arriving threads."""
+
+    __slots__ = ("done", "result", "error")
+
+    def __init__(self) -> None:
+        self.done = threading.Event()
+        self.result: Any = None
+        self.error: BaseException | None = None
+
+
+class ResidualCache:
+    """A bounded, thread-safe LRU of generated residual programs.
+
+    ``maxsize`` bounds the number of retained residual programs; the
+    least recently used entry is evicted first.  ``maxsize <= 0``
+    disables the cache (every :meth:`get_or_generate` generates).
+    """
+
+    def __init__(self, maxsize: int = 128) -> None:
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[Hashable, Any] = OrderedDict()
+        self._inflight: dict[Hashable, _Flight] = {}
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._generation_seconds = 0.0
+        self._last_generation_seconds = 0.0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def lookup(self, key: Hashable) -> Any | None:
+        """A bare probe (no generation, no single-flight wait)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+            return entry
+
+    def get_or_generate(
+        self, key: Hashable, produce: Callable[[], Any]
+    ) -> tuple[Any, bool]:
+        """Return ``(residual, hit)`` for ``key``, generating on a miss.
+
+        Concurrent misses on one key coalesce: one caller runs
+        ``produce``, the rest block until it completes and share its
+        result (counted as hits — they did not generate).  If the
+        producer raises, every waiter sees the same exception and
+        nothing is cached.
+        """
+        if self.maxsize <= 0:
+            return produce(), False
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return entry, True
+            flight = self._inflight.get(key)
+            if flight is None:
+                flight = _Flight()
+                self._inflight[key] = flight
+                leader = True
+            else:
+                leader = False
+        if not leader:
+            flight.done.wait()
+            if flight.error is not None:
+                raise flight.error
+            with self._lock:
+                self._hits += 1
+            return flight.result, True
+        try:
+            t0 = time.perf_counter()
+            result = produce()
+            elapsed = time.perf_counter() - t0
+        except BaseException as exc:
+            flight.error = exc
+            with self._lock:
+                self._inflight.pop(key, None)
+            flight.done.set()
+            raise
+        flight.result = result
+        with self._lock:
+            self._misses += 1
+            self._generation_seconds += elapsed
+            self._last_generation_seconds = elapsed
+            self._entries[key] = result
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+            self._inflight.pop(key, None)
+        flight.done.set()
+        return result, False
+
+    def stats(self) -> dict[str, Any]:
+        """A snapshot of the cache counters."""
+        with self._lock:
+            return {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "entries": len(self._entries),
+                "maxsize": self.maxsize,
+                "generation_seconds": self._generation_seconds,
+                "last_generation_seconds": self._last_generation_seconds,
+            }
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        with self._lock:
+            self._entries.clear()

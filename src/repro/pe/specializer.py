@@ -25,7 +25,6 @@ difference — that is the point.
 
 from __future__ import annotations
 
-import sys
 from collections import deque
 from typing import Any, Callable, Sequence
 
@@ -50,6 +49,7 @@ from repro.lang.prims import PRIMITIVES, PrimSpec
 from repro.pe.annprog import AnnDef, AnnotatedProgram, BindingTime
 from repro.pe.backend import Backend, ResidualProgram, SourceBackend
 from repro.pe.errors import BindingTimeError, SpecializationError
+from repro.pe.limits import ensure_recursion_limit
 from repro.pe.values import (
     Dynamic,
     FreezeCache,
@@ -145,13 +145,11 @@ class Specializer:
                 args.append(Static(next(it)))
             else:
                 args.append(Dynamic(self.backend.var(p)))
-        old_limit = sys.getrecursionlimit()
-        sys.setrecursionlimit(max(old_limit, 100_000))
-        try:
-            residual_goal, dyn_params = self._memoize(goal, args, entry=True)
-            self._drain()
-        finally:
-            sys.setrecursionlimit(old_limit)
+        # One-time process-wide floor: never saved/restored, so nested
+        # and concurrent runs cannot clobber each other (see pe.limits).
+        ensure_recursion_limit()
+        residual_goal, dyn_params = self._memoize(goal, args, entry=True)
+        self._drain()
         result = self.backend.finish(residual_goal, dyn_params)
         result.stats["residual_defs"] = self.residual_def_count
         result.stats["memo_entries"] = len(self.memo)

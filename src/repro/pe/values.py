@@ -81,14 +81,51 @@ def is_first_order(value: Any) -> bool:
 
 
 def freeze_static(value: Any) -> Any:
-    """A hashable key for a static value (for the memoization table)."""
+    """A fully hashable, canonical key for a static value.
+
+    Equal static values (in the sense of ``equal?`` extended to Python
+    containers) freeze to equal keys; unequal values freeze to unequal
+    keys (injective up to equality).  Cyclic structures raise
+    :class:`~repro.pe.errors.SpecializationError` instead of recursing
+    forever — a memo key for an infinite value would be meaningless.
+    """
+    return _freeze(value, None, set())
+
+
+def _cycle(value: Any) -> Any:
+    from repro.pe.errors import SpecializationError
+
+    raise SpecializationError(
+        "cyclic static value cannot be frozen into a memoization key"
+        f" (cycle through a {type(value).__name__})"
+    )
+
+
+def _freeze(value: Any, cache: "FreezeCache | None", seen: set[int]) -> Any:
     if isinstance(value, Pair):
+        if cache is not None:
+            hit = cache._by_id.get(id(value))
+            if hit is not None:
+                return hit
         items = []
+        spine: list[int] = []
         node: Any = value
         while isinstance(node, Pair):
-            items.append(freeze_static(node.car))
+            nid = id(node)
+            if nid in seen:
+                _cycle(node)
+            seen.add(nid)
+            spine.append(nid)
+            items.append(_freeze(node.car, cache, seen))
             node = node.cdr
-        return ("list", tuple(items), freeze_static(node))
+        tail = _freeze(node, cache, seen)
+        for nid in spine:
+            seen.discard(nid)
+        result = ("list", tuple(items), tail)
+        if cache is not None:
+            cache._by_id[id(value)] = result
+            cache._keep.append(value)
+        return result
     if value is NIL:
         return ("nil",)
     if isinstance(value, Unspecified):
@@ -97,6 +134,40 @@ def freeze_static(value: Any) -> Any:
         # Static closures in memo keys: identity-based.  Two different
         # closure instances specialize separately.
         return ("closure", id(value))
+    if isinstance(value, (list, tuple)):
+        tag = "pylist" if isinstance(value, list) else "pytuple"
+        if id(value) in seen:
+            _cycle(value)
+        seen.add(id(value))
+        result = (tag, tuple(_freeze(v, cache, seen) for v in value))
+        seen.discard(id(value))
+        return result
+    if isinstance(value, dict):
+        if id(value) in seen:
+            _cycle(value)
+        seen.add(id(value))
+        entries = tuple(
+            sorted(
+                (
+                    (_freeze(k, cache, seen), _freeze(v, cache, seen))
+                    for k, v in value.items()
+                ),
+                key=repr,
+            )
+        )
+        seen.discard(id(value))
+        return ("dict", entries)
+    if isinstance(value, (set, frozenset)):
+        return ("set", tuple(sorted((_freeze(v, cache, seen) for v in value), key=repr)))
+    if isinstance(value, (bytes, bytearray)):
+        return ("bytes", bytes(value))
+    try:
+        hash(value)
+    except TypeError:
+        # Unknown unhashable object: identity-tag it.  Equal-but-distinct
+        # instances memoize separately — sound (over-specialization), and
+        # far better than a bare TypeError deep inside ``dict.get``.
+        return ("opaque", type(value).__name__, id(value))
     return (type(value).__name__, value)
 
 
@@ -107,6 +178,12 @@ class FreezeCache:
     and re-frozen at every memoization point; pairs are immutable in this
     system, so caching by identity is sound.  The cache holds references
     to the pairs it has seen, so ids cannot be recycled underneath it.
+
+    Concurrency: the cache is safe to share between threads without a
+    lock.  Its only compound operation is a check-then-set on ``_by_id``
+    whose value is a pure function of the (immutable) pair, so a race
+    merely recomputes the same key; individual dict/list operations are
+    atomic under the GIL.
     """
 
     __slots__ = ("_by_id", "_keep")
@@ -116,17 +193,4 @@ class FreezeCache:
         self._keep: list = []
 
     def freeze(self, value: Any) -> Any:
-        if isinstance(value, Pair):
-            key = id(value)
-            hit = self._by_id.get(key)
-            if hit is None:
-                items = []
-                node: Any = value
-                while isinstance(node, Pair):
-                    items.append(self.freeze(node.car))
-                    node = node.cdr
-                hit = ("list", tuple(items), self.freeze(node))
-                self._by_id[key] = hit
-                self._keep.append(value)
-            return hit
-        return freeze_static(value)
+        return _freeze(value, self, set())

@@ -8,13 +8,16 @@ from typing import TYPE_CHECKING
 
 from repro.compiler.fusion import ObjectCodeBackend
 from repro.lang.ast import Program
+from repro.lang.gensym import Gensym
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.pe.cogen import CompiledGeneratingExtension
 from repro.lang.parser import parse_program
 from repro.pe.backend import ResidualProgram, SourceBackend
 from repro.pe.bta import BTAResult, analyze
+from repro.pe.residual_cache import ResidualCache
 from repro.pe.specializer import Specializer
+from repro.pe.values import freeze_static
 
 
 class GeneratingExtension:
@@ -25,6 +28,17 @@ class GeneratingExtension:
     times to static inputs, producing residual programs — as source
     (``to_source``) or directly as executable object code
     (``to_object_code``), the paper's run-time code generation.
+
+    Applications are memoized in a bounded, thread-safe LRU **residual
+    cache** keyed by ``(frozen static args, dif strategy, backend
+    kind)``: re-applying the extension to structurally equal static
+    input returns the already-generated residual program instead of
+    re-running the specializer (the paper's "built once ... applied any
+    number of times", with the application side amortized too).
+    ``cache_size=0`` disables the cache.  The extension is safe to share
+    between threads: the cache is single-flight (concurrent misses on
+    one key generate once), every generation run gets private gensym
+    state, so repeated generation for one static input is byte-identical.
     """
 
     def __init__(
@@ -35,6 +49,7 @@ class GeneratingExtension:
         memo_hints: Iterable[str] = (),
         unfold_hints: Iterable[str] = (),
         check_congruence: bool = True,
+        cache_size: int = 128,
     ):
         if isinstance(program, str):
             program = parse_program(program, goal=goal)
@@ -50,6 +65,8 @@ class GeneratingExtension:
             from repro.pe.check import verify_annotated
 
             verify_annotated(self.bta.annotated)
+        self._cache_size = cache_size
+        self.cache = ResidualCache(cache_size)
 
     def compiled(self) -> "CompiledGeneratingExtension":
         """Compile this generating extension (the cogen path, [59]).
@@ -60,35 +77,93 @@ class GeneratingExtension:
         """
         from repro.pe.cogen import compile_generating_extension
 
-        return compile_generating_extension(self.bta.annotated)
+        return compile_generating_extension(
+            self.bta.annotated, cache_size=self._cache_size
+        )
+
+    # -- generation -------------------------------------------------------------
+
+    def _generate(
+        self,
+        static_args: Sequence[Any],
+        dif_strategy: str,
+        make_backend,
+        kind: str,
+        use_cache: bool,
+    ) -> ResidualProgram:
+        def produce() -> ResidualProgram:
+            # A private name supply per run keeps residual naming
+            # deterministic (byte-identical regeneration) and isolates
+            # concurrent runs from each other.
+            return Specializer(
+                self.bta.annotated,
+                make_backend(),
+                dif_strategy=dif_strategy,
+                name_gensym=Gensym("f"),
+            ).run(static_args)
+
+        if not use_cache or self.cache.maxsize <= 0:
+            return produce()
+        key = (
+            tuple(freeze_static(a) for a in static_args),
+            dif_strategy,
+            kind,
+        )
+        result, hit = self.cache.get_or_generate(key, produce)
+        result.stats["cache_hit"] = hit
+        result.stats["cache"] = self.cache.stats()
+        return result
 
     def to_source(
-        self, static_args: Sequence[Any], dif_strategy: str = "duplicate"
+        self,
+        static_args: Sequence[Any],
+        dif_strategy: str = "duplicate",
+        use_cache: bool = True,
     ) -> ResidualProgram:
         """Generate a residual *source* program (classical PE)."""
-        return Specializer(
-            self.bta.annotated, SourceBackend(), dif_strategy=dif_strategy
-        ).run(static_args)
+        return self._generate(
+            static_args, dif_strategy, SourceBackend, "source", use_cache
+        )
 
     def to_object_code(
         self,
         static_args: Sequence[Any],
         dif_strategy: str = "duplicate",
         verify: bool = True,
+        use_cache: bool = True,
     ) -> ResidualProgram:
         """Generate residual *object code* directly (the fused system).
 
         ``verify`` bytecode-verifies every generated template at
         generation time (:mod:`repro.vm.verify`).
         """
-        return Specializer(
-            self.bta.annotated,
-            ObjectCodeBackend(verify=verify),
-            dif_strategy=dif_strategy,
-        ).run(static_args)
+        kind = "object" if verify else "object-unverified"
+        return self._generate(
+            static_args,
+            dif_strategy,
+            lambda: ObjectCodeBackend(verify=verify),
+            kind,
+            use_cache,
+        )
 
-    def __call__(self, static_args: Sequence[Any]) -> ResidualProgram:
-        return self.to_object_code(static_args)
+    def __call__(
+        self,
+        static_args: Sequence[Any],
+        dif_strategy: str = "duplicate",
+        verify: bool = True,
+    ) -> ResidualProgram:
+        return self.to_object_code(
+            static_args, dif_strategy=dif_strategy, verify=verify
+        )
+
+    # -- cache introspection -----------------------------------------------------
+
+    def cache_stats(self) -> dict[str, Any]:
+        """Hit/miss/eviction/generation-time counters of the cache."""
+        return self.cache.stats()
+
+    def cache_clear(self) -> None:
+        self.cache.clear()
 
 
 def make_generating_extension(
@@ -97,11 +172,12 @@ def make_generating_extension(
     goal: str | None = None,
     memo_hints: Iterable[str] = (),
     unfold_hints: Iterable[str] = (),
+    cache_size: int = 128,
 ) -> GeneratingExtension:
     """Build a generating extension (BTA happens here, once)."""
     return GeneratingExtension(
         program, signature, goal=goal, memo_hints=memo_hints,
-        unfold_hints=unfold_hints,
+        unfold_hints=unfold_hints, cache_size=cache_size,
     )
 
 
@@ -110,12 +186,13 @@ def specialize_to_source(
     signature: str,
     static_args: Sequence[Any],
     goal: str | None = None,
+    dif_strategy: str = "duplicate",
     **kwargs: Any,
 ) -> ResidualProgram:
     """One-shot: residual source program for the given static input."""
     return make_generating_extension(
         program, signature, goal=goal, **kwargs
-    ).to_source(static_args)
+    ).to_source(static_args, dif_strategy=dif_strategy)
 
 
 def specialize_to_object_code(
@@ -123,12 +200,14 @@ def specialize_to_object_code(
     signature: str,
     static_args: Sequence[Any],
     goal: str | None = None,
+    dif_strategy: str = "duplicate",
+    verify: bool = True,
     **kwargs: Any,
 ) -> ResidualProgram:
     """One-shot: executable object code for the given static input."""
     return make_generating_extension(
         program, signature, goal=goal, **kwargs
-    ).to_object_code(static_args)
+    ).to_object_code(static_args, dif_strategy=dif_strategy, verify=verify)
 
 
 def run_specialized(
@@ -137,10 +216,13 @@ def run_specialized(
     static_args: Sequence[Any],
     dynamic_args: Sequence[Any],
     goal: str | None = None,
+    dif_strategy: str = "duplicate",
+    verify: bool = True,
     **kwargs: Any,
 ) -> Any:
     """Classic RTCG: generate code for the static input and run it."""
     residual = specialize_to_object_code(
-        program, signature, static_args, goal=goal, **kwargs
+        program, signature, static_args, goal=goal,
+        dif_strategy=dif_strategy, verify=verify, **kwargs
     )
     return residual.run(dynamic_args)

@@ -38,6 +38,27 @@ data = st.recursive(
     max_leaves=25,
 )
 
+# Python-container statics: what a host program may pass as a static
+# argument to a generating extension (dicts, sets, tuples, lists of the
+# above).  Set members and dict keys stay hashable, as Python requires.
+hashable_atoms = st.one_of(
+    st.integers(min_value=-(2**20), max_value=2**20),
+    st.booleans(),
+    st.text(max_size=6),
+)
+
+python_statics = st.recursive(
+    st.one_of(atoms, st.none()),
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.lists(children, max_size=3).map(tuple),
+        st.dictionaries(hashable_atoms, children, max_size=4),
+        st.sets(hashable_atoms, max_size=4),
+        st.frozensets(hashable_atoms, max_size=4),
+    ),
+    max_leaves=20,
+)
+
 # -- expressions ----------------------------------------------------------------
 # Generated as source text for readability of failure messages.
 

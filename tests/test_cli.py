@@ -81,6 +81,28 @@ class TestSpecializeCommands:
         )
         assert capsys.readouterr().out.strip() == "11"
 
+    def test_stats_reports_cache_counters(self, power_file, capsys):
+        code = main(
+            [
+                "stats", power_file, "--goal", "power", "--sig", "DS",
+                "--static", "5", "--repeat", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cold generation" in out
+        assert "cached application" in out
+        assert "3 hit(s), 1 miss(es)" in out
+
+    def test_stats_source_backend(self, power_file, capsys):
+        assert main(
+            [
+                "stats", power_file, "--goal", "power", "--sig", "DS",
+                "--static", "3", "--backend", "source",
+            ]
+        ) == 0
+        assert "backend:             source" in capsys.readouterr().out
+
     def test_annotate(self, power_file, capsys):
         assert main(
             ["annotate", power_file, "--goal", "power", "--sig", "DS"]

@@ -1,0 +1,150 @@
+"""Properties of §6.4's static-value freezing (the memo-key function).
+
+The residual cache and the specializer's memo table both key on
+:func:`repro.pe.values.freeze_static`, so freezing must be
+
+* **total** over every value a host program can pass as a static
+  argument (Scheme data *and* Python containers — dicts, sets, tuples),
+* **hashable** — a frozen key goes straight into a dict,
+* **injective up to equality** — equal values share a key, unequal
+  values never collide (a collision would silently serve residual code
+  generated for a *different* static input), and
+* **defined on cycles** by raising a clear
+  :class:`~repro.pe.errors.SpecializationError`, never by recursing
+  forever or leaking a bare ``TypeError`` out of ``dict.get``.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.pe.errors import SpecializationError
+from repro.pe.values import FreezeCache, freeze_static
+from repro.runtime.values import Pair, datum_to_value, scheme_equal
+from repro.rtcg import GeneratingExtension
+from tests.strategies import data, python_statics
+
+IDENTITY = "(define (f s d) d)"
+
+
+class TestTotalAndHashable:
+    @given(data)
+    @settings(max_examples=150, deadline=None)
+    def test_scheme_data(self, d):
+        frozen = freeze_static(datum_to_value(d))
+        hash(frozen)  # must not raise
+
+    @given(python_statics)
+    @settings(max_examples=150, deadline=None)
+    def test_python_containers(self, value):
+        hash(freeze_static(value))  # must not raise
+
+    def test_unhashable_unknown_object_is_identity_tagged(self):
+        class Opaque:
+            __hash__ = None  # type: ignore[assignment]
+
+        a, b = Opaque(), Opaque()
+        assert freeze_static(a) == freeze_static(a)
+        assert freeze_static(a) != freeze_static(b)
+        hash(freeze_static(a))
+
+
+class TestInjectiveUpToEquality:
+    @given(data, data)
+    @settings(max_examples=200, deadline=None)
+    def test_scheme_data_keys_coincide_iff_equal(self, d1, d2):
+        v1, v2 = datum_to_value(d1), datum_to_value(d2)
+        assert (freeze_static(v1) == freeze_static(v2)) == scheme_equal(v1, v2)
+
+    @given(python_statics, python_statics)
+    @settings(max_examples=200, deadline=None)
+    def test_python_containers_never_collide(self, a, b):
+        # Injectivity: a key collision implies the values are equal.
+        # (The converse can fail for Python's 1 == True coercions, which
+        # freezing deliberately distinguishes by type.)
+        if freeze_static(a) == freeze_static(b):
+            assert a == b
+
+    def test_dict_key_is_insertion_order_independent(self):
+        assert freeze_static({"a": 1, "b": 2}) == freeze_static(
+            {"b": 2, "a": 1}
+        )
+
+    def test_set_key_is_order_independent(self):
+        assert freeze_static({3, 1, 2}) == freeze_static({2, 3, 1})
+        assert freeze_static(frozenset({1})) == freeze_static({1})
+
+    def test_bool_and_int_do_not_collide(self):
+        assert freeze_static(True) != freeze_static(1)
+        assert freeze_static([True]) != freeze_static([1])
+
+
+class TestCycles:
+    def test_cyclic_pair_raises(self):
+        p = Pair(1, 2)
+        p.cdr = p
+        with pytest.raises(SpecializationError, match="cyclic"):
+            freeze_static(p)
+
+    def test_cyclic_pair_through_car_raises(self):
+        p = Pair(1, Pair(2, 3))
+        p.cdr.car = p
+        with pytest.raises(SpecializationError, match="cyclic"):
+            freeze_static(p)
+
+    def test_cyclic_list_raises(self):
+        cycle: list = [1]
+        cycle.append(cycle)
+        with pytest.raises(SpecializationError, match="cyclic"):
+            freeze_static(cycle)
+
+    def test_cyclic_dict_raises(self):
+        d: dict = {}
+        d["self"] = d
+        with pytest.raises(SpecializationError, match="cyclic"):
+            freeze_static(d)
+
+    def test_shared_but_acyclic_structure_is_fine(self):
+        shared = Pair(1, Pair(2, datum_to_value([])))
+        dag = Pair(shared, Pair(shared, datum_to_value([])))
+        assert freeze_static(dag) == freeze_static(
+            datum_to_value([[1, 2], [1, 2]])
+        )
+
+
+class TestFreezeCacheAgreement:
+    @given(data)
+    @settings(max_examples=100, deadline=None)
+    def test_cache_matches_uncached(self, d):
+        value = datum_to_value(d)
+        cache = FreezeCache()
+        assert cache.freeze(value) == freeze_static(value)
+        # Second freeze is an identity hit and must agree too.
+        assert cache.freeze(value) == freeze_static(value)
+
+    def test_cache_detects_cycles(self):
+        p = Pair(1, 2)
+        p.cdr = p
+        with pytest.raises(SpecializationError, match="cyclic"):
+            FreezeCache().freeze(p)
+
+
+class TestEndToEnd:
+    def test_dict_valued_static_specializes(self):
+        # Regression: this used to crash Specializer._memoize with a
+        # bare TypeError (unhashable memo key) deep inside dict.get.
+        gen = GeneratingExtension(IDENTITY, "SD", goal="f")
+        assert gen.to_source([{"a": 1}]).run([7]) == 7
+        assert gen.to_object_code([{"a": 1}]).run([8]) == 8
+
+    def test_equal_dict_statics_share_a_cache_entry(self):
+        gen = GeneratingExtension(IDENTITY, "SD", goal="f")
+        r1 = gen.to_object_code([{"a": 1, "b": 2}])
+        r2 = gen.to_object_code([{"b": 2, "a": 1}])
+        assert r1 is r2
+
+    def test_cyclic_static_raises_specialization_error(self):
+        gen = GeneratingExtension(IDENTITY, "SD", goal="f")
+        p = Pair(1, 2)
+        p.cdr = p
+        with pytest.raises(SpecializationError, match="cyclic"):
+            gen.to_object_code([p])
