@@ -56,3 +56,24 @@ def mixwell_static():
 @pytest.fixture(scope="session")
 def lazy_static():
     return lazy_primes_program()
+
+
+# Store-backed extensions for the warm-start columns: the on-disk image
+# store (L2) is shared per session, so tests can model a fresh process
+# that finds the store already populated.
+
+
+@pytest.fixture(scope="session")
+def mixwell_store_gen(tmp_path_factory):
+    store = tmp_path_factory.mktemp("mixwell-image-store")
+    return make_generating_extension(
+        mixwell_interpreter(), MIXWELL_SIGNATURE, store_dir=store
+    )
+
+
+@pytest.fixture(scope="session")
+def lazy_store_gen(tmp_path_factory):
+    store = tmp_path_factory.mktemp("lazy-image-store")
+    return make_generating_extension(
+        lazy_interpreter(), LAZY_SIGNATURE, store_dir=store
+    )

@@ -31,13 +31,36 @@ lint FILE [--sig SIG] [--goal NAME]
     backends), and — when ``--sig`` is given — re-check the BTA's output
     with the congruence linter.  Exit status 1 if any error is found.
 
-stats FILE --sig SIG [--static DATUM ...] [--repeat N]
+stats FILE --sig SIG [--static DATUM ...] [--repeat N] [--json]
     Build a generating extension, apply it N times to the same static
     input, and print residual-cache statistics: cold generation time,
     cached lookup time, amortized speedup, hit/miss/eviction counters.
+    ``--store DIR`` attaches an on-disk image store (the L2 tier);
+    ``--json`` emits the numbers as a JSON object for scripting.
+
+image export FILE --sig SIG [--static DATUM ...] (--store DIR | -o FILE)
+    Specialize FILE to the static input and persist the residual object
+    code as a binary image: into a content-addressed store (``--store``)
+    and/or a standalone image file (``-o``).  Prints the content digest.
+
+image load IMAGE [--store DIR] [--dynamic DATUM ...] [--disassemble]
+    Load a persisted image — IMAGE is a file path, or a content digest
+    (unique prefix allowed) resolved in ``--store`` — verify its
+    bytecode (``--no-verify`` opts out), and run it on the dynamic
+    arguments if given.
+
+image ls --store DIR [--json]
+    List the store's images: key, content digest, size, goal.
+
+image gc --store DIR [--max-bytes N] [--json]
+    Evict least-recently-used images beyond the size budget and drop
+    dangling index references.
 
 combinators
     Print the generated code-generation combinator module (Act 3's file).
+
+Exit status: 0 on success, 1 on any reported error (bad input file,
+parse error, specialization failure, corrupt image), 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -51,7 +74,9 @@ from repro.interp import run_program
 from repro.lang import parse_program, unparse_def, unparse_program
 from repro.lang.prelude import with_prelude
 from repro.pe import SourceBackend, Specializer, analyze
+from repro.pe.errors import PEError
 from repro.lang.prims import write_value
+from repro.runtime.errors import SchemeError
 from repro.runtime.values import datum_to_value
 from repro.sexp import read, write
 from repro.vm import disassemble
@@ -200,6 +225,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
+    import json
     import time
 
     from repro.rtcg import GeneratingExtension
@@ -211,6 +237,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
         memo_hints=args.memo or (),
         unfold_hints=args.unfold or (),
         cache_size=args.cache_size,
+        store_dir=args.store,
     )
     static = _data(args.static or [])
     generate = {
@@ -232,12 +259,24 @@ def cmd_stats(args: argparse.Namespace) -> int:
         warm_times.append(time.perf_counter() - t0)
     warm = min(warm_times)
     stats = gen.cache_stats()
+    speedup = cold / warm if warm > 0 else float("inf")
+    if args.json:
+        print(json.dumps({
+            "backend": args.backend,
+            "dif_strategy": args.dif_strategy,
+            "residual_defs": residual.stats.get("residual_defs"),
+            "cold_generation_ms": cold * 1e3,
+            "cached_application_ms": warm * 1e3,
+            "amortized_speedup": speedup,
+            "disk_hit": bool(residual.stats.get("disk_hit", False)),
+            "cache": stats,
+        }, indent=2, default=str))
+        return 0
     print(f"backend:             {args.backend}")
     print(f"dif strategy:        {args.dif_strategy}")
     print(f"residual defs:       {residual.stats.get('residual_defs', '?')}")
     print(f"cold generation:     {cold * 1e3:.3f} ms")
     print(f"cached application:  {warm * 1e3:.3f} ms")
-    speedup = cold / warm if warm > 0 else float("inf")
     print(f"amortized speedup:   {speedup:.1f}x")
     print(
         f"cache:               {stats['hits']} hit(s),"
@@ -248,6 +287,158 @@ def cmd_stats(args: argparse.Namespace) -> int:
         f"generation time:     {stats['generation_seconds'] * 1e3:.3f} ms"
         " total in cache misses"
     )
+    if "store" in stats:
+        ss = stats["store"]
+        print(
+            f"image store:         {ss['hits']} hit(s), {ss['misses']}"
+            f" miss(es), {ss['writes']} write(s) at {ss['root']}"
+        )
+    return 0
+
+
+def _image_store(args: argparse.Namespace):
+    from repro.image import ImageStore
+
+    return ImageStore(args.store)
+
+
+def _resolve_digest(store, prefix: str) -> str:
+    """Resolve a (possibly abbreviated) content digest in the store."""
+    matches = []
+    try:
+        for shard in sorted(store.objects_dir.iterdir()):
+            if not shard.is_dir():
+                continue
+            for obj in sorted(shard.iterdir()):
+                if obj.name.startswith(prefix):
+                    matches.append(obj.name)
+    except OSError:
+        pass
+    if not matches:
+        raise FileNotFoundError(
+            f"no image matches digest prefix {prefix!r} in {store.root}"
+        )
+    if len(matches) > 1:
+        raise ValueError(
+            f"digest prefix {prefix!r} is ambiguous"
+            f" ({len(matches)} matches)"
+        )
+    return matches[0]
+
+
+def cmd_image_export(args: argparse.Namespace) -> int:
+    from repro.image import save_image
+    from repro.rtcg import GeneratingExtension
+
+    if not args.store and not args.out:
+        print("error: image export needs --store and/or -o", file=sys.stderr)
+        return 2
+    program = _load(args.file, args.goal, args.prelude)
+    gen = GeneratingExtension(
+        program,
+        args.sig,
+        memo_hints=args.memo or (),
+        unfold_hints=args.unfold or (),
+        store_dir=args.store,
+    )
+    static = _data(args.static or [])
+    if args.backend == "object":
+        residual = gen.to_object_code(
+            static, dif_strategy=args.dif_strategy, verify=args.verify
+        )
+    else:
+        residual = gen.to_source(static, dif_strategy=args.dif_strategy)
+    status = 0
+    if args.store:
+        digest = residual.stats.get("image_digest")
+        if digest is None:
+            print(
+                "error: the image could not be persisted to the store"
+                " (unwritable directory, or statics with no stable"
+                " cross-process identity)",
+                file=sys.stderr,
+            )
+            status = 1
+        else:
+            print(f"{digest}  key={residual.stats['image_key']}")
+    if args.out:
+        digest = save_image(residual, args.out)
+        print(f"{digest}  file={args.out}")
+    return status
+
+
+def cmd_image_load(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.image import load_image, verify_residual
+
+    if Path(args.image).is_file():
+        residual = load_image(args.image)
+    elif args.store:
+        store = _image_store(args)
+        residual = store.load(
+            _resolve_digest(store, args.image), verify=False
+        )
+    else:
+        raise FileNotFoundError(
+            f"{args.image!r} is not an image file (pass --store to resolve"
+            " it as a content digest)"
+        )
+    if args.verify:
+        verify_residual(residual)
+    kind = "object" if residual.machine is not None else "source"
+    params = " ".join(p.name for p in residual.goal_params)
+    print(
+        f";; image: goal {residual.goal} ({params}) [{kind};"
+        f" verified {'yes' if args.verify else 'NO'}]",
+        file=sys.stderr,
+    )
+    if args.disassemble and residual.machine is not None:
+        from repro.vm.machine import VmClosure
+
+        for name in sorted(residual.machine.globals, key=lambda s: s.name):
+            value = residual.machine.globals[name]
+            if isinstance(value, VmClosure):
+                print(disassemble(value.template), file=sys.stderr)
+    if args.dynamic is not None:
+        print(write_value(residual.run(_data(args.dynamic))))
+    return 0
+
+
+def cmd_image_ls(args: argparse.Namespace) -> int:
+    import json
+
+    entries = _image_store(args).ls()
+    if args.json:
+        print(json.dumps(entries, indent=2))
+        return 0
+    if not entries:
+        print(";; store is empty")
+        return 0
+    for e in entries:
+        if "error" in e:
+            print(f"{e['key'][:16]}  <unreadable: {e['error']}>")
+            continue
+        print(
+            f"{e['object'][:16]}  {e['bytes']:6d} B  {e.get('kind', '?'):6}"
+            f"  {e.get('goal', '?')}({' '.join(e.get('params', []))})"
+            f"  key={e['key'][:16]}"
+        )
+    return 0
+
+
+def cmd_image_gc(args: argparse.Namespace) -> int:
+    import json
+
+    report = _image_store(args).gc(max_bytes=args.max_bytes)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(
+            f"removed {report['removed_objects']} object(s),"
+            f" {report['removed_refs']} dangling ref(s);"
+            f" {report['bytes_before']} -> {report['bytes_after']} bytes"
+        )
     return 0
 
 
@@ -358,7 +549,66 @@ def main(argv: list[str] | None = None) -> int:
         "--cache-size", type=int, default=128, dest="cache_size",
         help="residual-cache capacity (default: 128)",
     )
+    p.add_argument(
+        "--store", help="attach an on-disk image store (L2 tier)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the statistics as a JSON object",
+    )
     p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser(
+        "image", help="persist and load residual object-code images"
+    )
+    image_sub = p.add_subparsers(dest="image_command", required=True)
+
+    p = image_sub.add_parser(
+        "export", help="specialize and persist the residual image"
+    )
+    common(p, needs_sig=True)
+    p.add_argument("--store", help="content-addressed store directory")
+    p.add_argument("-o", "--out", help="also write a standalone image file")
+    p.add_argument(
+        "--backend", default="object", choices=("object", "source"),
+    )
+    p.add_argument(
+        "--verify", action=argparse.BooleanOptionalAction, default=True,
+        help="verify generated templates (default: on)",
+    )
+    p.set_defaults(fn=cmd_image_export)
+
+    p = image_sub.add_parser(
+        "load", help="load (verify, optionally run) a persisted image"
+    )
+    p.add_argument(
+        "image", help="image file path, or content digest with --store"
+    )
+    p.add_argument("--store", help="store directory for digest lookup")
+    p.add_argument(
+        "--dynamic", action="append",
+        help="a dynamic argument (Scheme datum); repeatable",
+    )
+    p.add_argument("--disassemble", action="store_true")
+    p.add_argument(
+        "--verify", action=argparse.BooleanOptionalAction, default=True,
+        help="bytecode-verify the loaded image (default: on)",
+    )
+    p.set_defaults(fn=cmd_image_load)
+
+    p = image_sub.add_parser("ls", help="list the store's images")
+    p.add_argument("--store", required=True)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(fn=cmd_image_ls)
+
+    p = image_sub.add_parser("gc", help="bound the store's size")
+    p.add_argument("--store", required=True)
+    p.add_argument(
+        "--max-bytes", type=int, default=None, dest="max_bytes",
+        help="object-payload budget (default: drop dangling refs only)",
+    )
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(fn=cmd_image_gc)
 
     p = sub.add_parser("combinators", help="print the generated combinators")
     p.set_defaults(fn=cmd_combinators)
@@ -366,7 +616,14 @@ def main(argv: list[str] | None = None) -> int:
     # Note: with `run`/`interp`, give goal arguments right after FILE
     # (before any --options), e.g. ``run power.scm 2 10 --goal power``.
     ns = parser.parse_args(argv)
-    return ns.fn(ns)
+    try:
+        return ns.fn(ns)
+    except (SchemeError, PEError, OSError, ValueError) as exc:
+        # User-level failures (missing files, parse errors, bad
+        # signatures, corrupt images) exit with a message, not a
+        # traceback; genuine bugs still propagate.
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

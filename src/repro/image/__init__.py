@@ -1,0 +1,53 @@
+"""Persistent object-code images.
+
+The paper's payoff is that specialization emits *executable object code*
+with no separate compilation step — but object code that evaporates with
+the process forces every restart to re-pay every specialization.  Scheme
+48 itself persists heap *images*; this package is our analogue for
+residual code: a versioned, pickle-free binary codec for
+:class:`~repro.vm.template.Template` trees and whole
+:class:`~repro.pe.backend.ResidualProgram`s
+(:mod:`repro.image.codec`), and a content-addressed on-disk store with
+atomic writes, advisory locking, and a size-bounded garbage collector
+(:mod:`repro.image.store`).
+
+Images loaded from disk are *untrusted*: by default every template in a
+loaded image is re-checked by the bytecode verifier
+(:mod:`repro.vm.verify`) before it can reach the machine.
+"""
+
+from repro.image.codec import (
+    CODEC_VERSION,
+    MAGIC,
+    CodecError,
+    decode_residual,
+    decode_template,
+    encode_residual,
+    encode_template,
+    load_image,
+    save_image,
+)
+from repro.image.store import (
+    ImageStore,
+    StoreKey,
+    UnpersistableKey,
+    store_key,
+    verify_residual,
+)
+
+__all__ = [
+    "CODEC_VERSION",
+    "CodecError",
+    "ImageStore",
+    "MAGIC",
+    "StoreKey",
+    "UnpersistableKey",
+    "decode_residual",
+    "decode_template",
+    "encode_residual",
+    "encode_template",
+    "load_image",
+    "save_image",
+    "store_key",
+    "verify_residual",
+]

@@ -1,0 +1,440 @@
+"""A content-addressed on-disk store for residual-code images.
+
+The process-level residual cache (:mod:`repro.pe.residual_cache`) makes
+*re-application* of a generating extension a lookup — but only within one
+process.  This store is the L2 tier beneath it: residual programs are
+encoded with :mod:`repro.image.codec` and kept on disk, content-addressed
+by the SHA-256 of their image bytes, with an index mapping the
+specialization key — ``(program digest, frozen statics, dif strategy,
+backend kind)`` — to the content address.  A fresh process (or another
+process on the same machine) warm-starts by hitting the index instead of
+re-running the specializer.
+
+Robustness properties:
+
+* **Atomic writes** — objects and index refs are written to a temporary
+  file and ``os.replace``\\ d into place, so readers never observe a
+  half-written image (the CRC would catch one anyway).
+* **Advisory locking** — writers and the garbage collector take an
+  ``fcntl`` lock on ``<root>/.lock`` so concurrent processes do not race
+  gc against writes.  Readers rely on atomic replacement and take no lock.
+* **Graceful degradation** — an unwritable or missing store directory
+  never breaks specialization: writes are counted as errors and skipped,
+  reads simply miss, and the extension falls back to generating.
+* **Trust boundary** — every image read from disk is *untrusted*; by
+  default each loaded template is re-checked by the bytecode verifier
+  before the residual program is returned.
+* **Bounded size** — :meth:`ImageStore.gc` evicts least-recently-used
+  objects until the store fits ``max_bytes`` and drops dangling refs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.image.codec import (
+    CodecError,
+    decode_residual,
+    encode_residual,
+)
+from repro.pe.backend import ResidualProgram
+from repro.sexp.datum import Char, Symbol
+from repro.vm.verify import VerificationError
+
+try:  # advisory locking is POSIX-only; the store degrades without it
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
+
+
+class UnpersistableKey(ValueError):
+    """A specialization key that has no stable cross-process identity.
+
+    Frozen statics that embed object identity (specialization-time
+    closures, opaque host objects) change meaning between processes;
+    persisting under such a key would serve wrong code later.
+    """
+
+
+@dataclass(frozen=True, slots=True)
+class StoreKey:
+    """A stable, hashed specialization key for the on-disk index."""
+
+    digest: str
+
+    def __str__(self) -> str:
+        return self.digest
+
+
+# Freeze tags (repro.pe.values._freeze) that embed ``id()`` and are
+# therefore meaningless outside the producing process.
+_IDENTITY_TAGS = frozenset({"closure", "opaque"})
+
+
+def _key_bytes(value: Any, out: bytearray) -> None:
+    """Serialize a frozen static value deterministically, or refuse."""
+    if isinstance(value, tuple):
+        if value and isinstance(value[0], str) and value[0] in _IDENTITY_TAGS:
+            raise UnpersistableKey(
+                f"frozen static contains an identity-keyed {value[0]!r}"
+                " component; it cannot name a cross-process image"
+            )
+        out += b"(%d:" % len(value)
+        for item in value:
+            _key_bytes(item, out)
+        out += b")"
+    elif value is None:
+        out += b"n;"
+    elif value is True:
+        out += b"t;"
+    elif value is False:
+        out += b"f;"
+    elif isinstance(value, int):
+        out += b"i%d;" % value
+    elif isinstance(value, float):
+        out += b"d" + value.hex().encode("ascii") + b";"
+    elif isinstance(value, str):
+        raw = value.encode("utf-8")
+        out += b"s%d:" % len(raw) + raw + b";"
+    elif isinstance(value, bytes):
+        out += b"b%d:" % len(value) + value + b";"
+    elif isinstance(value, Symbol):
+        raw = value.name.encode("utf-8")
+        out += b"y%d:" % len(raw) + raw + b";"
+    elif isinstance(value, Char):
+        out += b"c" + value.value.encode("utf-8") + b";"
+    else:
+        raise UnpersistableKey(
+            f"frozen static contains a {type(value).__name__}, which has"
+            " no stable cross-process serialization"
+        )
+
+
+def store_key(
+    program_digest: str,
+    frozen_statics: tuple,
+    dif_strategy: str,
+    kind: str,
+) -> StoreKey:
+    """Hash a specialization key into a stable on-disk index name.
+
+    Raises :class:`UnpersistableKey` when the frozen statics embed
+    process-local identity (closures, opaque objects).
+    """
+    out = bytearray()
+    out += b"repro-image-key-v1\x00"
+    _key_bytes(
+        (program_digest, frozen_statics, dif_strategy, kind), out
+    )
+    return StoreKey(hashlib.sha256(bytes(out)).hexdigest())
+
+
+def verify_residual(residual: ResidualProgram) -> None:
+    """Bytecode-verify every template of a (disk-loaded, untrusted)
+    residual program.  Raises
+    :class:`~repro.vm.verify.VerificationError` on the first unsound
+    template; residual *source* programs have nothing executable yet and
+    pass vacuously."""
+    from repro.vm.machine import VmClosure
+    from repro.vm.verify import verify_template
+
+    if residual.machine is None:
+        return
+    for value in residual.machine.globals.values():
+        if isinstance(value, VmClosure):
+            verify_template(value.template)
+
+
+class ImageStore:
+    """A content-addressed store of residual-code images on disk.
+
+    Layout::
+
+        <root>/objects/<aa>/<digest>   framed image bytes (content address)
+        <root>/index/<key digest>      text file naming an object digest
+        <root>/.lock                   advisory write/gc lock
+
+    ``max_bytes`` (optional) bounds the total object payload; exceeding
+    it triggers an LRU :meth:`gc` after each write.
+    """
+
+    def __init__(self, root: str | os.PathLike, max_bytes: int | None = None):
+        self.root = Path(root)
+        self.objects_dir = self.root / "objects"
+        self.index_dir = self.root / "index"
+        self._lock_path = self.root / ".lock"
+        self.max_bytes = max_bytes
+        self._counter_lock = threading.Lock()
+        self._counters = {
+            "hits": 0,
+            "misses": 0,
+            "writes": 0,
+            "write_errors": 0,
+            "read_errors": 0,
+            "verify_failures": 0,
+            "gc_removed_objects": 0,
+        }
+        self.writable = True
+        try:
+            self.objects_dir.mkdir(parents=True, exist_ok=True)
+            self.index_dir.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            # Missing and uncreatable, or read-only: reads may still work.
+            self.writable = False
+
+    # -- internals ------------------------------------------------------------
+
+    def _count(self, name: str, n: int = 1) -> None:
+        with self._counter_lock:
+            self._counters[name] += n
+
+    @contextmanager
+    def _locked(self) -> Iterator[None]:
+        """Advisory exclusive lock for multi-process write/gc safety."""
+        if fcntl is None:
+            yield
+            return
+        try:
+            fh = open(self._lock_path, "a+b")
+        except OSError:
+            yield  # unwritable store: nothing to protect
+            return
+        try:
+            fcntl.flock(fh.fileno(), fcntl.LOCK_EX)
+            yield
+        finally:
+            try:
+                fcntl.flock(fh.fileno(), fcntl.LOCK_UN)
+            finally:
+                fh.close()
+
+    def _atomic_write(self, path: Path, data: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                fh.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def _object_path(self, digest: str) -> Path:
+        return self.objects_dir / digest[:2] / digest
+
+    # -- the store API --------------------------------------------------------
+
+    def put(self, key: StoreKey, residual: ResidualProgram) -> str | None:
+        """Write ``residual`` through to disk under ``key``.
+
+        Returns the content digest, or ``None`` when the store is
+        unwritable or the program is not imageable — persistence
+        failures never propagate into specialization.
+        """
+        if not self.writable:
+            self._count("write_errors")
+            return None
+        try:
+            data = encode_residual(residual)
+        except CodecError:
+            self._count("write_errors")
+            return None
+        digest = hashlib.sha256(data).hexdigest()
+        try:
+            with self._locked():
+                obj = self._object_path(digest)
+                if not obj.exists():
+                    self._atomic_write(obj, data)
+                self._atomic_write(
+                    self.index_dir / key.digest,
+                    (digest + "\n").encode("ascii"),
+                )
+                if self.max_bytes is not None:
+                    self._gc_locked(self.max_bytes)
+        except OSError:
+            self._count("write_errors")
+            return None
+        self._count("writes")
+        return digest
+
+    def get(
+        self,
+        key: StoreKey,
+        verify: bool = True,
+        check_fingerprint: bool = True,
+    ) -> ResidualProgram | None:
+        """Look ``key`` up; decode, and (by default) verify, on a hit.
+
+        Returns ``None`` on a miss *or* on any integrity failure — a
+        corrupt or unverifiable image behaves like a miss, and the
+        caller regenerates.
+        """
+        try:
+            ref = (self.index_dir / key.digest).read_text().strip()
+        except OSError:
+            self._count("misses")
+            return None
+        try:
+            residual = self.load(
+                ref, verify=verify, check_fingerprint=check_fingerprint
+            )
+        except FileNotFoundError:
+            self._count("misses")
+            return None
+        except CodecError:
+            self._count("read_errors")
+            self._count("misses")
+            return None
+        except VerificationError:
+            self._count("verify_failures")
+            self._count("misses")
+            return None
+        self._count("hits")
+        return residual
+
+    def load(
+        self,
+        digest: str,
+        verify: bool = True,
+        check_fingerprint: bool = True,
+    ) -> ResidualProgram:
+        """Load an image by content digest.  Raises on any failure:
+        :class:`FileNotFoundError`, :class:`CodecError` (corruption,
+        staleness, content-address mismatch), or
+        :class:`~repro.vm.verify.VerificationError` when the loaded
+        object code does not verify."""
+        path = self._object_path(digest)
+        data = path.read_bytes()
+        actual = hashlib.sha256(data).hexdigest()
+        if actual != digest:
+            raise CodecError(
+                f"content-address mismatch: object named {digest[:12]}..."
+                f" hashes to {actual[:12]}..."
+            )
+        residual = decode_residual(data, check_fingerprint=check_fingerprint)
+        if verify:
+            self._verify(residual)
+        residual.stats["image_digest"] = digest
+        try:
+            os.utime(path)  # LRU recency for gc()
+        except OSError:
+            pass
+        return residual
+
+    @staticmethod
+    def _verify(residual: ResidualProgram) -> None:
+        verify_residual(residual)
+
+    def ls(self) -> list[dict[str, Any]]:
+        """Describe every indexed image: key, object digest, size,
+        mtime, and — when decodable — goal name, kind, and parameters."""
+        entries = []
+        try:
+            refs = sorted(self.index_dir.iterdir())
+        except OSError:
+            return entries
+        for ref in refs:
+            if ref.name.startswith("."):
+                continue
+            entry: dict[str, Any] = {"key": ref.name}
+            try:
+                digest = ref.read_text().strip()
+                entry["object"] = digest
+                path = self._object_path(digest)
+                st = path.stat()
+                entry["bytes"] = st.st_size
+                entry["mtime"] = st.st_mtime
+                residual = decode_residual(
+                    path.read_bytes(), check_fingerprint=False
+                )
+                entry["goal"] = residual.goal.name
+                entry["params"] = [p.name for p in residual.goal_params]
+                entry["kind"] = (
+                    "object" if residual.machine is not None else "source"
+                )
+            except (OSError, CodecError) as exc:
+                entry["error"] = str(exc)
+            entries.append(entry)
+        return entries
+
+    def gc(self, max_bytes: int | None = None) -> dict[str, int]:
+        """Evict least-recently-used objects beyond the size budget and
+        drop index refs to missing objects."""
+        limit = self.max_bytes if max_bytes is None else max_bytes
+        with self._locked():
+            return self._gc_locked(limit)
+
+    def _gc_locked(self, limit: int | None) -> dict[str, int]:
+        objects: list[tuple[float, int, Path]] = []
+        total = 0
+        try:
+            for shard in self.objects_dir.iterdir():
+                if not shard.is_dir():
+                    continue
+                for obj in shard.iterdir():
+                    if obj.name.startswith("."):
+                        continue
+                    try:
+                        st = obj.stat()
+                    except OSError:
+                        continue
+                    objects.append((st.st_mtime, st.st_size, obj))
+                    total += st.st_size
+        except OSError:
+            return {"removed_objects": 0, "removed_refs": 0,
+                    "bytes_before": 0, "bytes_after": 0}
+        before = total
+        removed = 0
+        if limit is not None and total > limit:
+            for _, size, obj in sorted(objects):  # oldest first
+                if total <= limit:
+                    break
+                try:
+                    obj.unlink()
+                except OSError:
+                    continue
+                total -= size
+                removed += 1
+        removed_refs = 0
+        try:
+            for ref in self.index_dir.iterdir():
+                if ref.name.startswith("."):
+                    continue
+                try:
+                    digest = ref.read_text().strip()
+                except OSError:
+                    continue
+                if not self._object_path(digest).exists():
+                    try:
+                        ref.unlink()
+                        removed_refs += 1
+                    except OSError:
+                        pass
+        except OSError:
+            pass
+        if removed:
+            self._count("gc_removed_objects", removed)
+        return {
+            "removed_objects": removed,
+            "removed_refs": removed_refs,
+            "bytes_before": before,
+            "bytes_after": total,
+        }
+
+    def stats(self) -> dict[str, Any]:
+        """A snapshot of the store counters."""
+        with self._counter_lock:
+            snapshot: dict[str, Any] = dict(self._counters)
+        snapshot["writable"] = self.writable
+        snapshot["root"] = str(self.root)
+        return snapshot

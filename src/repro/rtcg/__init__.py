@@ -14,6 +14,7 @@ This package wires the pieces into the artifacts the paper describes:
 from repro.rtcg.system import (
     GeneratingExtension,
     make_generating_extension,
+    program_digest,
     run_specialized,
     specialize_to_object_code,
     specialize_to_source,
@@ -22,6 +23,7 @@ from repro.rtcg.system import (
 __all__ = [
     "GeneratingExtension",
     "make_generating_extension",
+    "program_digest",
     "run_specialized",
     "specialize_to_object_code",
     "specialize_to_source",

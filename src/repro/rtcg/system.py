@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import hashlib
+import threading
 from typing import Any, Iterable, Sequence
 
 from typing import TYPE_CHECKING
@@ -11,6 +13,7 @@ from repro.lang.ast import Program
 from repro.lang.gensym import Gensym
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.image.store import ImageStore
     from repro.pe.cogen import CompiledGeneratingExtension
 from repro.lang.parser import parse_program
 from repro.pe.backend import ResidualProgram, SourceBackend
@@ -18,6 +21,40 @@ from repro.pe.bta import BTAResult, analyze
 from repro.pe.residual_cache import ResidualCache
 from repro.pe.specializer import Specializer
 from repro.pe.values import freeze_static
+
+
+def program_digest(
+    program: Program,
+    signature: str,
+    memo_hints: Iterable[str] = (),
+    unfold_hints: Iterable[str] = (),
+) -> str:
+    """A stable cross-process identity for a specialization problem.
+
+    Hashes the unparsed program text together with the goal, the
+    binding-time signature, and the analysis hints: everything that
+    determines what a generating extension will emit for given statics.
+    On-disk image keys must include this — the in-memory residual cache
+    is per-extension, so the program is implicit there, but a store
+    shared between processes is not.
+    """
+    from repro.lang.unparse import unparse_program
+    from repro.sexp.writer import write
+
+    h = hashlib.sha256()
+    h.update(b"repro-program-v1\x00")
+    h.update(program.goal.name.encode("utf-8"))
+    h.update(b"\x00")
+    h.update(signature.encode("utf-8"))
+    h.update(b"\x00")
+    for hint in sorted(memo_hints):
+        h.update(b"m:" + hint.encode("utf-8") + b"\x00")
+    for hint in sorted(unfold_hints):
+        h.update(b"u:" + hint.encode("utf-8") + b"\x00")
+    for d in unparse_program(program):
+        h.update(write(d).encode("utf-8"))
+        h.update(b"\n")
+    return h.hexdigest()
 
 
 class GeneratingExtension:
@@ -39,6 +76,17 @@ class GeneratingExtension:
     between threads: the cache is single-flight (concurrent misses on
     one key generate once), every generation run gets private gensym
     state, so repeated generation for one static input is byte-identical.
+
+    ``store_dir`` adds an **L2 tier** beneath the in-memory cache: a
+    content-addressed on-disk image store (:mod:`repro.image.store`).  A
+    miss in the memory cache probes the store before running the
+    specializer; a specialization writes its image through.  The store
+    outlives the process, so a fresh extension over the same program and
+    signature warm-starts from disk without specializing at all.  Every
+    image loaded from disk is untrusted and re-checked by the bytecode
+    verifier unless ``verify_on_load=False`` (or the application itself
+    opted out with ``verify=False``).  ``store_max_bytes`` bounds the
+    store; eviction is LRU.
     """
 
     def __init__(
@@ -50,6 +98,9 @@ class GeneratingExtension:
         unfold_hints: Iterable[str] = (),
         check_congruence: bool = True,
         cache_size: int = 128,
+        store_dir: Any = None,
+        store_max_bytes: int | None = None,
+        verify_on_load: bool = True,
     ):
         if isinstance(program, str):
             program = parse_program(program, goal=goal)
@@ -67,6 +118,18 @@ class GeneratingExtension:
             verify_annotated(self.bta.annotated)
         self._cache_size = cache_size
         self.cache = ResidualCache(cache_size)
+        self.verify_on_load = verify_on_load
+        self.store: "ImageStore | None" = None
+        self._program_digest: str | None = None
+        if store_dir is not None:
+            from repro.image.store import ImageStore
+
+            self.store = ImageStore(store_dir, max_bytes=store_max_bytes)
+            self._program_digest = program_digest(
+                program, signature, memo_hints, unfold_hints
+            )
+        self._spec_lock = threading.Lock()
+        self._specializer_runs = 0
 
     def compiled(self) -> "CompiledGeneratingExtension":
         """Compile this generating extension (the cogen path, [59]).
@@ -83,6 +146,20 @@ class GeneratingExtension:
 
     # -- generation -------------------------------------------------------------
 
+    def _persist_key(self, frozen: tuple, dif_strategy: str, kind: str):
+        """The on-disk index key, or None when the statics embed
+        process-local identity and cannot name a cross-process image."""
+        if self.store is None:
+            return None
+        from repro.image.store import UnpersistableKey, store_key
+
+        try:
+            return store_key(
+                self._program_digest or "", frozen, dif_strategy, kind
+            )
+        except UnpersistableKey:
+            return None
+
     def _generate(
         self,
         static_args: Sequence[Any],
@@ -91,24 +168,49 @@ class GeneratingExtension:
         kind: str,
         use_cache: bool,
     ) -> ResidualProgram:
+        store = self.store
+        frozen = None
+        persist_key = None
+        if store is not None or (use_cache and self.cache.maxsize > 0):
+            frozen = tuple(freeze_static(a) for a in static_args)
+        if store is not None and frozen is not None:
+            persist_key = self._persist_key(frozen, dif_strategy, kind)
+
         def produce() -> ResidualProgram:
+            # L2: the on-disk image store.  A hit deserializes (and, by
+            # default, re-verifies) persisted object code instead of
+            # specializing; verification is skipped only when the
+            # application itself opted out (kind "object-unverified").
+            if store is not None and persist_key is not None:
+                loaded = store.get(
+                    persist_key,
+                    verify=self.verify_on_load
+                    and kind != "object-unverified",
+                )
+                if loaded is not None:
+                    loaded.stats["disk_hit"] = True
+                    return loaded
             # A private name supply per run keeps residual naming
             # deterministic (byte-identical regeneration) and isolates
             # concurrent runs from each other.
-            return Specializer(
+            residual = Specializer(
                 self.bta.annotated,
                 make_backend(),
                 dif_strategy=dif_strategy,
                 name_gensym=Gensym("f"),
             ).run(static_args)
+            with self._spec_lock:
+                self._specializer_runs += 1
+            if store is not None and persist_key is not None:
+                digest = store.put(persist_key, residual)
+                if digest is not None:  # write-through succeeded
+                    residual.stats["image_digest"] = digest
+                    residual.stats["image_key"] = persist_key.digest
+            return residual
 
         if not use_cache or self.cache.maxsize <= 0:
             return produce()
-        key = (
-            tuple(freeze_static(a) for a in static_args),
-            dif_strategy,
-            kind,
-        )
+        key = (frozen, dif_strategy, kind)
         result, hit = self.cache.get_or_generate(key, produce)
         result.stats["cache_hit"] = hit
         result.stats["cache"] = self.cache.stats()
@@ -159,8 +261,19 @@ class GeneratingExtension:
     # -- cache introspection -----------------------------------------------------
 
     def cache_stats(self) -> dict[str, Any]:
-        """Hit/miss/eviction/generation-time counters of the cache."""
-        return self.cache.stats()
+        """Hit/miss/eviction/generation-time counters of the cache.
+
+        Includes ``specializer_runs`` — how many times this extension
+        actually ran the specializer — and, when an image store is
+        attached, its counters under ``"store"``.  A warm start shows
+        ``specializer_runs == 0`` with ``store.hits > 0``.
+        """
+        stats = self.cache.stats()
+        with self._spec_lock:
+            stats["specializer_runs"] = self._specializer_runs
+        if self.store is not None:
+            stats["store"] = self.store.stats()
+        return stats
 
     def cache_clear(self) -> None:
         self.cache.clear()
@@ -173,11 +286,16 @@ def make_generating_extension(
     memo_hints: Iterable[str] = (),
     unfold_hints: Iterable[str] = (),
     cache_size: int = 128,
+    store_dir: Any = None,
+    store_max_bytes: int | None = None,
+    verify_on_load: bool = True,
 ) -> GeneratingExtension:
     """Build a generating extension (BTA happens here, once)."""
     return GeneratingExtension(
         program, signature, goal=goal, memo_hints=memo_hints,
         unfold_hints=unfold_hints, cache_size=cache_size,
+        store_dir=store_dir, store_max_bytes=store_max_bytes,
+        verify_on_load=verify_on_load,
     )
 
 

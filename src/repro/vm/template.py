@@ -28,10 +28,24 @@ class Template:
         )
 
     def instruction_count(self, recursive: bool = True) -> int:
-        """Number of instructions, optionally including nested templates."""
-        count = len(self.code)
-        if recursive:
-            for lit in self.literals:
+        """Number of instructions, optionally including nested templates.
+
+        A template referenced from several literal slots (or shared
+        between several enclosing templates) is counted once — the code
+        exists once, however many closures instantiate it.
+        """
+        if not recursive:
+            return len(self.code)
+        count = 0
+        seen: set[int] = set()
+        stack: list[Template] = [self]
+        while stack:
+            template = stack.pop()
+            if id(template) in seen:
+                continue
+            seen.add(id(template))
+            count += len(template.code)
+            for lit in template.literals:
                 if isinstance(lit, Template):
-                    count += lit.instruction_count(recursive=True)
+                    stack.append(lit)
         return count

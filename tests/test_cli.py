@@ -181,3 +181,196 @@ class TestStaticAnalysisCommands:
             ]
         ) == 0
         assert capsys.readouterr().out.strip() == "8"
+
+
+class TestStatsJson:
+    def test_json_output_is_machine_readable(self, power_file, capsys):
+        import json
+
+        assert main(
+            [
+                "stats", power_file, "--goal", "power", "--sig", "DS",
+                "--static", "5", "--repeat", "3", "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "object"
+        assert payload["dif_strategy"] == "duplicate"
+        assert payload["cold_generation_ms"] > 0
+        assert payload["cache"]["hits"] == 2
+        assert payload["cache"]["misses"] == 1
+        assert payload["disk_hit"] is False
+
+    def test_json_with_store(self, power_file, tmp_path, capsys):
+        import json
+
+        store = str(tmp_path / "store")
+        assert main(
+            [
+                "stats", power_file, "--goal", "power", "--sig", "DS",
+                "--static", "5", "--store", store, "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["cache"]["store"]["writes"] == 1
+        assert payload["cache"]["specializer_runs"] == 1
+
+
+class TestImageCommands:
+    def test_export_ls_load_gc_cycle(self, power_file, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(
+            [
+                "image", "export", power_file, "--goal", "power",
+                "--sig", "DS", "--static", "5", "--store", store,
+            ]
+        ) == 0
+        digest = capsys.readouterr().out.split()[0]
+        assert len(digest) == 64
+
+        assert main(["image", "ls", "--store", store]) == 0
+        assert digest[:16] in capsys.readouterr().out
+
+        # Digest prefixes resolve as long as they are unique.
+        assert main(
+            [
+                "image", "load", digest[:12], "--store", store,
+                "--dynamic", "2",
+            ]
+        ) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip() == "32"
+        assert "verified yes" in captured.err
+
+        assert main(
+            ["image", "gc", "--store", store, "--max-bytes", "0"]
+        ) == 0
+        assert "removed 1 object(s)" in capsys.readouterr().out
+        assert main(["image", "ls", "--store", store]) == 0
+        assert "store is empty" in capsys.readouterr().out
+
+    def test_export_to_file_and_load(self, power_file, tmp_path, capsys):
+        out_file = str(tmp_path / "power.rpoi")
+        assert main(
+            [
+                "image", "export", power_file, "--goal", "power",
+                "--sig", "DS", "--static", "4", "-o", out_file,
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["image", "load", out_file, "--dynamic", "3"]
+        ) == 0
+        assert capsys.readouterr().out.strip() == "81"
+
+    def test_load_disassemble(self, power_file, tmp_path, capsys):
+        out_file = str(tmp_path / "power.rpoi")
+        main(
+            [
+                "image", "export", power_file, "--goal", "power",
+                "--sig", "DS", "--static", "3", "-o", out_file,
+            ]
+        )
+        capsys.readouterr()
+        assert main(["image", "load", out_file, "--disassemble"]) == 0
+        assert "PRIM" in capsys.readouterr().err
+
+    def test_export_requires_a_destination(self, power_file, capsys):
+        assert main(
+            [
+                "image", "export", power_file, "--goal", "power",
+                "--sig", "DS", "--static", "3",
+            ]
+        ) == 2
+        assert "needs --store" in capsys.readouterr().err
+
+    def test_ls_json(self, power_file, tmp_path, capsys):
+        import json
+
+        store = str(tmp_path / "store")
+        main(
+            [
+                "image", "export", power_file, "--goal", "power",
+                "--sig", "DS", "--static", "5", "--store", store,
+            ]
+        )
+        capsys.readouterr()
+        assert main(["image", "ls", "--store", store, "--json"]) == 0
+        (entry,) = json.loads(capsys.readouterr().out)
+        assert entry["kind"] == "object"
+        assert entry["bytes"] > 0
+
+    def test_load_rejects_corrupt_image(self, power_file, tmp_path, capsys):
+        out_file = tmp_path / "power.rpoi"
+        main(
+            [
+                "image", "export", power_file, "--goal", "power",
+                "--sig", "DS", "--static", "3", "-o", str(out_file),
+            ]
+        )
+        capsys.readouterr()
+        data = bytearray(out_file.read_bytes())
+        data[-1] ^= 0xFF
+        out_file.write_bytes(bytes(data))
+        assert main(["image", "load", str(out_file)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_load_unknown_digest(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["image", "load", "deadbeef", "--store", store]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestErrorPaths:
+    """User mistakes exit non-zero with a message — never a traceback."""
+
+    def test_missing_input_file(self, capsys):
+        assert main(["run", "/nonexistent/nope.scm"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_unparsable_source(self, tmp_path, capsys):
+        f = tmp_path / "bad.scm"
+        f.write_text("(define (f x) (+ x 1)")  # unbalanced
+        assert main(["run", str(f)]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_bad_dif_strategy_is_a_usage_error(self, power_file, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(
+                [
+                    "specialize", power_file, "--goal", "power",
+                    "--sig", "DS", "--dif-strategy", "bogus",
+                ]
+            )
+        assert exc_info.value.code == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err
+        assert "Traceback" not in err
+
+    def test_bad_signature(self, power_file, capsys):
+        assert main(
+            ["specialize", power_file, "--goal", "power", "--sig", "XY"]
+        ) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_wrong_goal_name(self, power_file, capsys):
+        assert main(["run", power_file, "--goal", "nope"]) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_sig_arity_mismatch(self, power_file, capsys):
+        assert main(
+            ["specialize", power_file, "--goal", "power", "--sig", "SDS"]
+        ) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+    def test_malformed_datum_argument(self, power_file, capsys):
+        assert main(
+            ["run", power_file, "(1 2", "--goal", "power"]
+        ) == 1
+        assert capsys.readouterr().err.startswith("error:")

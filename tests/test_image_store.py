@@ -1,0 +1,367 @@
+"""Tests for the content-addressed on-disk image store."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.image.codec import CodecError, encode_residual
+from repro.image.store import (
+    ImageStore,
+    StoreKey,
+    UnpersistableKey,
+    store_key,
+    verify_residual,
+)
+from repro.pe.values import freeze_static
+from repro.rtcg import make_generating_extension, program_digest
+from repro.sexp.datum import Char, sym
+from repro.vm.verify import VerificationError
+
+POWER = "(define (power x n) (if (zero? n) 1 (* x (power x (- n 1)))))"
+
+
+@pytest.fixture
+def gen():
+    return make_generating_extension(POWER, "DS", goal="power")
+
+
+def _key(n: int = 1) -> StoreKey:
+    return store_key("prog", (n,), "duplicate", "object")
+
+
+class TestStoreKey:
+    def test_deterministic(self):
+        frozen = (1, "a", sym("s"), 2.5, Char("x"), (True, None, b"raw"))
+        assert store_key("p", frozen, "duplicate", "object") == store_key(
+            "p", frozen, "duplicate", "object"
+        )
+
+    def test_every_component_matters(self):
+        base = store_key("p", (1,), "duplicate", "object")
+        assert store_key("q", (1,), "duplicate", "object") != base
+        assert store_key("p", (2,), "duplicate", "object") != base
+        assert store_key("p", (1,), "join", "object") != base
+        assert store_key("p", (1,), "duplicate", "source") != base
+
+    def test_no_injection_across_component_boundaries(self):
+        # ("ab", "c") and ("a", "bc") must hash differently.
+        assert store_key("p", ("ab", "c"), "d", "k") != store_key(
+            "p", ("a", "bc"), "d", "k"
+        )
+
+    def test_str_and_symbol_distinct(self):
+        assert store_key("p", ("x",), "d", "k") != store_key(
+            "p", (sym("x"),), "d", "k"
+        )
+
+    def test_bool_and_int_distinct(self):
+        assert store_key("p", (True,), "d", "k") != store_key(
+            "p", (1,), "d", "k"
+        )
+
+    def test_closure_tagged_statics_are_unpersistable(self):
+        with pytest.raises(UnpersistableKey):
+            store_key("p", (("closure", 140234),), "d", "k")
+
+    def test_opaque_tagged_statics_are_unpersistable(self):
+        with pytest.raises(UnpersistableKey):
+            store_key("p", ((1, ("opaque", "Thing", 99)),), "d", "k")
+
+    def test_unknown_python_object_is_unpersistable(self):
+        with pytest.raises(UnpersistableKey):
+            store_key("p", (object(),), "d", "k")
+
+    def test_frozen_interpreter_values_are_persistable(self):
+        from repro.runtime.values import datum_to_value
+        from repro.sexp import read
+
+        frozen = freeze_static(datum_to_value(read("(1 (a b) 2.5 #\\x)")))
+        store_key("p", (frozen,), "d", "k")  # must not raise
+
+
+class TestPutGet:
+    def test_round_trip(self, tmp_path, gen):
+        store = ImageStore(tmp_path / "store")
+        rp = gen.to_object_code([5])
+        digest = store.put(_key(), rp)
+        assert digest is not None
+        out = store.get(_key())
+        assert out is not None
+        assert out.fingerprint() == rp.fingerprint()
+        assert out.run([2]) == 32
+        assert store.stats()["hits"] == 1
+
+    def test_miss(self, tmp_path):
+        store = ImageStore(tmp_path / "store")
+        assert store.get(_key()) is None
+        assert store.stats()["misses"] == 1
+
+    def test_content_addressing_dedupes_objects(self, tmp_path, gen):
+        store = ImageStore(tmp_path / "store")
+        rp = gen.to_object_code([5])
+        d1 = store.put(_key(1), rp)
+        d2 = store.put(_key(2), rp)  # same image, second key
+        assert d1 == d2
+        objects = [
+            o
+            for shard in (tmp_path / "store" / "objects").iterdir()
+            for o in shard.iterdir()
+        ]
+        assert len(objects) == 1
+        assert len(list((tmp_path / "store" / "index").iterdir())) == 2
+
+    def test_corrupt_object_behaves_like_a_miss(self, tmp_path, gen):
+        store = ImageStore(tmp_path / "store")
+        digest = store.put(_key(), gen.to_object_code([5]))
+        path = store._object_path(digest)
+        data = bytearray(path.read_bytes())
+        data[20] ^= 0xFF
+        path.write_bytes(bytes(data))
+        assert store.get(_key()) is None
+        assert store.stats()["read_errors"] == 1
+
+    def test_dangling_ref_is_a_miss(self, tmp_path, gen):
+        store = ImageStore(tmp_path / "store")
+        digest = store.put(_key(), gen.to_object_code([5]))
+        store._object_path(digest).unlink()
+        assert store.get(_key()) is None
+
+    def test_load_rejects_mislabeled_object(self, tmp_path, gen):
+        store = ImageStore(tmp_path / "store")
+        data = encode_residual(gen.to_object_code([5]))
+        fake = "0" * 64
+        store._atomic_write(store._object_path(fake), data)
+        with pytest.raises(CodecError, match="content-address"):
+            store.load(fake)
+
+    def test_load_missing_digest_raises(self, tmp_path):
+        store = ImageStore(tmp_path / "store")
+        with pytest.raises(FileNotFoundError):
+            store.load("ff" * 32)
+
+    def test_source_programs_are_storable(self, tmp_path, gen):
+        store = ImageStore(tmp_path / "store")
+        key = store_key("p", (4,), "duplicate", "source")
+        assert store.put(key, gen.to_source([4])) is not None
+        out = store.get(key)
+        assert out is not None
+        assert out.run([3]) == 81
+
+
+class TestVerifyOnLoad:
+    def _poison(self, store: ImageStore, gen) -> str:
+        """Store an image whose template is well-framed (valid CRC) but
+        unsound bytecode: a branch target past the end of the code."""
+        from repro.vm.machine import VmClosure
+        from repro.vm.instructions import Op
+        from repro.vm.template import Template
+
+        rp = gen.to_object_code([5])
+        bad = Template(
+            code=((Op.JUMP, 99), (Op.RETURN,)),
+            literals=(),
+            arity=1,
+            nlocals=1,
+            name=next(iter(rp.machine.globals.values())).template.name,
+        )
+        name = next(iter(rp.machine.globals))
+        rp.machine.globals[name] = VmClosure(bad, ())
+        digest = store.put(_key(), rp)
+        assert digest is not None
+        return digest
+
+    def test_unsound_image_rejected_by_default(self, tmp_path, gen):
+        store = ImageStore(tmp_path / "store")
+        digest = self._poison(store, gen)
+        with pytest.raises(VerificationError):
+            store.load(digest)
+        assert store.get(_key()) is None  # behaves like a miss
+        assert store.stats()["verify_failures"] == 1
+
+    def test_explicit_opt_out(self, tmp_path, gen):
+        store = ImageStore(tmp_path / "store")
+        self._poison(store, gen)
+        assert store.get(_key(), verify=False) is not None
+
+    def test_verify_residual_passes_sound_code(self, gen):
+        verify_residual(gen.to_object_code([3]))
+
+    def test_verify_residual_is_vacuous_for_source(self, gen):
+        verify_residual(gen.to_source([3]))
+
+
+class TestGc:
+    def test_size_bound_evicts_lru(self, tmp_path, gen):
+        store = ImageStore(tmp_path / "store")
+        digests = []
+        for n in range(4):
+            digests.append(store.put(_key(n), gen.to_object_code([n])))
+        paths = [store._object_path(d) for d in digests]
+        # Age the first two objects, then keep only enough budget for two.
+        for i, p in enumerate(paths):
+            os.utime(p, (1000 + i, 1000 + i))
+        sizes = [p.stat().st_size for p in paths]
+        report = store.gc(max_bytes=sizes[2] + sizes[3])
+        assert report["removed_objects"] == 2
+        assert report["removed_refs"] == 2
+        assert not paths[0].exists() and not paths[1].exists()
+        assert paths[2].exists() and paths[3].exists()
+        assert store.get(_key(0)) is None
+        assert store.get(_key(3)) is not None
+
+    def test_load_refreshes_recency(self, tmp_path, gen):
+        store = ImageStore(tmp_path / "store")
+        d0 = store.put(_key(0), gen.to_object_code([0]))
+        d1 = store.put(_key(1), gen.to_object_code([1]))
+        p0, p1 = store._object_path(d0), store._object_path(d1)
+        os.utime(p0, (1000, 1000))
+        os.utime(p1, (2000, 2000))
+        store.load(d0)  # touch: now most recent
+        store.gc(max_bytes=p0.stat().st_size)
+        assert p0.exists() and not p1.exists()
+
+    def test_gc_drops_dangling_refs(self, tmp_path, gen):
+        store = ImageStore(tmp_path / "store")
+        digest = store.put(_key(), gen.to_object_code([5]))
+        store._object_path(digest).unlink()
+        report = store.gc()
+        assert report["removed_refs"] == 1
+        assert store.ls() == []
+
+    def test_put_triggers_gc_when_bounded(self, tmp_path, gen):
+        # A one-byte budget cannot retain any object, so each put gc's
+        # away everything it (and its predecessors) wrote.
+        small = ImageStore(tmp_path / "store", max_bytes=1)
+        for n in range(3):
+            assert small.put(_key(n), gen.to_object_code([n])) is not None
+        objects = [
+            o
+            for shard in (tmp_path / "store" / "objects").iterdir()
+            for o in shard.iterdir()
+        ]
+        assert objects == []
+        assert small.stats()["gc_removed_objects"] == 3
+
+
+class TestLs:
+    def test_ls_describes_images(self, tmp_path, gen):
+        store = ImageStore(tmp_path / "store")
+        store.put(_key(), gen.to_object_code([5]))
+        (entry,) = store.ls()
+        assert entry["key"] == _key().digest
+        assert entry["goal"].startswith("power")  # residual names are gensym'd
+        assert entry["kind"] == "object"
+        assert entry["bytes"] > 0
+
+    def test_ls_reports_corrupt_entries(self, tmp_path, gen):
+        store = ImageStore(tmp_path / "store")
+        digest = store.put(_key(), gen.to_object_code([5]))
+        store._object_path(digest).write_bytes(b"junk")
+        (entry,) = store.ls()
+        assert "error" in entry
+
+    def test_ls_empty(self, tmp_path):
+        assert ImageStore(tmp_path / "store").ls() == []
+
+
+class TestGracefulDegradation:
+    # chmod tricks don't work under root (CI containers), so an
+    # uncreatable store is simulated with a regular file where a parent
+    # directory would have to be.
+
+    def test_unwritable_root(self, tmp_path, gen):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        store = ImageStore(blocker / "store")
+        assert not store.writable
+        assert store.put(_key(), gen.to_object_code([5])) is None
+        assert store.get(_key()) is None
+        assert store.stats()["write_errors"] == 1
+
+    def test_fresh_handle_on_existing_store_serves_reads(self, tmp_path, gen):
+        root = tmp_path / "store"
+        ImageStore(root).put(_key(), gen.to_object_code([5]))
+        reader = ImageStore(root)
+        out = reader.get(_key())
+        assert out is not None
+        assert out.run([2]) == 32
+
+    def test_extension_falls_back_when_store_unwritable(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        gen = make_generating_extension(
+            POWER, "DS", goal="power", store_dir=blocker / "store"
+        )
+        rp = gen.to_object_code([5])
+        assert rp.run([2]) == 32
+        stats = gen.cache_stats()
+        assert stats["specializer_runs"] == 1
+        assert not stats["store"]["writable"]
+
+
+class TestExtensionIntegration:
+    def test_write_through_and_l2_hit(self, tmp_path):
+        store_dir = tmp_path / "store"
+        gen = make_generating_extension(
+            POWER, "DS", goal="power", store_dir=store_dir
+        )
+        rp = gen.to_object_code([5])
+        assert "image_digest" in rp.stats
+        # Drop L1 so the next application must go through L2.
+        gen.cache_clear()
+        rp2 = gen.to_object_code([5])
+        assert rp2.stats.get("disk_hit") is True
+        assert rp2.fingerprint() == rp.fingerprint()
+        stats = gen.cache_stats()
+        assert stats["specializer_runs"] == 1
+        assert stats["store"]["hits"] == 1
+
+    def test_identity_keyed_statics_skip_persistence(self, tmp_path):
+        # An unhashable host object freezes to an ("opaque", type, id)
+        # tag — meaningless in another process, so the image must not be
+        # persisted (while in-process specialization still works).
+        gen = make_generating_extension(
+            "(define (f s d) (+ d 1))",
+            "SD",
+            goal="f",
+            store_dir=tmp_path / "store",
+        )
+        opaque = type("Opaque", (), {"__hash__": None})()
+        rp = gen.to_object_code([opaque])
+        assert rp.run([41]) == 42
+        assert "image_digest" not in rp.stats
+        stats = gen.cache_stats()
+        assert stats["store"]["writes"] == 0
+        assert stats["store"]["misses"] == 0  # L2 never even probed
+
+    def test_program_digest_separates_programs(self, tmp_path):
+        from repro.lang import parse_program
+
+        p1 = parse_program(POWER, goal="power")
+        p2 = parse_program(
+            "(define (power x n) (if (zero? n) 2 (* x (power x (- n 1)))))",
+            goal="power",
+        )
+        assert program_digest(p1, "DS") != program_digest(p2, "DS")
+        assert program_digest(p1, "DS") != program_digest(p1, "SD")
+        assert program_digest(p1, "DS") == program_digest(p1, "DS")
+
+    def test_cross_program_isolation_in_one_store(self, tmp_path):
+        """Two different programs sharing one store directory never serve
+        each other's images."""
+        store_dir = tmp_path / "store"
+        gen_a = make_generating_extension(
+            POWER, "DS", goal="power", store_dir=store_dir
+        )
+        gen_b = make_generating_extension(
+            "(define (power x n) (if (zero? n) 0 (* x (power x (- n 1)))))",
+            "DS",
+            goal="power",
+            store_dir=store_dir,
+        )
+        assert gen_a.to_object_code([3]).run([2]) == 8
+        assert gen_b.to_object_code([3]).run([2]) == 0
+        gen_a.cache_clear()
+        assert gen_a.to_object_code([3]).run([2]) == 8

@@ -176,6 +176,57 @@ class TestTemplateAndDisasm:
             recursive=False
         )
 
+    def test_instruction_count_dedupes_shared_nested_templates(self):
+        """A nested template referenced from several literal slots is
+        counted once, not once per slot."""
+        from repro.vm.instructions import Op
+        from repro.vm.template import Template
+
+        inner = Template(
+            code=((Op.CONST, 0), (Op.RETURN,)),
+            literals=(1,),
+            arity=0,
+            nlocals=0,
+            name="inner",
+        )
+        outer = Template(
+            code=(
+                (Op.MAKE_CLOSURE, 0, 0),
+                (Op.MAKE_CLOSURE, 1, 0),
+                (Op.RETURN,),
+            ),
+            literals=(inner, inner),  # same template, two slots
+            arity=0,
+            nlocals=0,
+            name="outer",
+        )
+        assert outer.instruction_count(recursive=False) == 3
+        assert outer.instruction_count(recursive=True) == 3 + 2
+
+    def test_instruction_count_counts_distinct_equal_templates(self):
+        """Two structurally equal but distinct nested templates are two
+        pieces of code; identity, not equality, is the dedupe key."""
+        from repro.vm.instructions import Op
+        from repro.vm.template import Template
+
+        def leaf():
+            return Template(
+                code=((Op.CONST, 0), (Op.RETURN,)),
+                literals=(1,),
+                arity=0,
+                nlocals=0,
+                name="leaf",
+            )
+
+        outer = Template(
+            code=((Op.MAKE_CLOSURE, 0, 0), (Op.RETURN,)),
+            literals=(leaf(), leaf()),
+            arity=0,
+            nlocals=0,
+            name="outer",
+        )
+        assert outer.instruction_count(recursive=True) == 2 + 2 + 2
+
     def test_disassemble_shows_globals_and_prims(self):
         from repro.anf import anf_convert
         from repro.compiler.anf_compiler import compile_anf_expr
