@@ -34,10 +34,17 @@ A fifth column measures the **warm start** from the on-disk image store:
 the in-memory cache is dropped before every application, so each one
 decodes (and re-verifies) the persisted image — the cost a fresh process
 pays when the store is already populated, instead of specializing.
+
+A sixth column measures the **specialization-safety analysis**
+(``repro.analysis``): the one-time, per-program cost of proving the
+extension safe to specialize, which `GeneratingExtension` pays at
+construction.  The shape suite asserts it stays well under a single
+cold specialization run.
 """
 
 import pytest
 
+from repro.analysis import analyze_bta
 from repro.compiler import ObjectCodeBackend
 from repro.pe import SourceBackend
 
@@ -104,6 +111,10 @@ class TestFig6MIXWELL:
         assert result.machine is not None
         assert result.stats["disk_hit"]
 
+    def test_mixwell_safety_analysis(self, benchmark, mixwell_gen):
+        report = benchmark(analyze_bta, mixwell_gen.bta)
+        assert report.safe
+
 
 class TestFig6LAZY:
     def test_lazy_source_code(self, benchmark, lazy_ext, lazy_static):
@@ -131,6 +142,10 @@ class TestFig6LAZY:
         result = benchmark(_generate_object_disk, lazy_store_gen, lazy_static)
         assert result.machine is not None
         assert result.stats["disk_hit"]
+
+    def test_lazy_safety_analysis(self, benchmark, lazy_gen):
+        report = benchmark(analyze_bta, lazy_gen.bta)
+        assert report.safe
 
 
 class TestFig6Shape:
@@ -287,4 +302,56 @@ class TestFig6Shape:
         assert t_warm < t_cold, (
             f"{workload}: warm start {t_warm:.4f}s"
             f" vs cold specialization {t_cold:.4f}s"
+        )
+
+    @pytest.mark.parametrize("workload", ["mixwell", "lazy"])
+    def test_analysis_overhead_under_quarter_of_cold_spec(
+        self, workload, mixwell_gen, mixwell_static, lazy_gen, lazy_static
+    ):
+        """The safety analysis must stay cheap relative to the work it
+        rides along with: `GeneratingExtension` runs it once at
+        construction, so the relevant baseline is the cold path from
+        interpreter source to residual object code (BTA + congruence +
+        specialization) on a fresh extension.  One whole-program
+        analysis run must cost less than a quarter of that — leaving
+        ``analyze="warn"`` on by default is a fraction of the first
+        generation."""
+        import time
+
+        from repro.rtcg import make_generating_extension
+        from repro.workloads import (
+            LAZY_SIGNATURE,
+            MIXWELL_SIGNATURE,
+            lazy_interpreter,
+            mixwell_interpreter,
+        )
+
+        gen, static = {
+            "mixwell": (mixwell_gen, mixwell_static),
+            "lazy": (lazy_gen, lazy_static),
+        }[workload]
+        program, signature = {
+            "mixwell": (mixwell_interpreter, MIXWELL_SIGNATURE),
+            "lazy": (lazy_interpreter, LAZY_SIGNATURE),
+        }[workload]
+
+        def best_of(fn, n=5):
+            times = []
+            for _ in range(n):
+                t0 = time.perf_counter()
+                fn()
+                times.append(time.perf_counter() - t0)
+            return min(times)
+
+        def cold_spec():
+            cold = make_generating_extension(
+                program(), signature, analyze="off"
+            )
+            return cold.to_object_code([static], use_cache=False)
+
+        t_analysis = best_of(lambda: analyze_bta(gen.bta))
+        t_cold_spec = best_of(cold_spec)
+        assert t_analysis < 0.25 * t_cold_spec, (
+            f"{workload}: analysis {t_analysis:.4f}s"
+            f" vs cold specialization {t_cold_spec:.4f}s"
         )

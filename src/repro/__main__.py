@@ -21,15 +21,26 @@ annotate FILE --sig SIG [--goal NAME]
     Print the binding-time-annotated program (ACS notation: ``lift``,
     ``if^D``, ``lambda^D``, ``memo-call``).
 
-disasm FILE [--compiler auto|stock] [--verify]
+disasm FILE [--compiler auto|stock] [--verify] [--json]
     Compile FILE and print the disassembly of every template, with block
     labels at jump targets.  ``--verify`` appends each template's
-    verification report.
+    verification report; ``--json`` emits templates and findings as a
+    JSON object.
 
-lint FILE [--sig SIG] [--goal NAME]
+lint FILE [--sig SIG] [--goal NAME] [--json]
     Static checks: bytecode-verify every template FILE compiles to (both
     backends), and — when ``--sig`` is given — re-check the BTA's output
-    with the congruence linter.  Exit status 1 if any error is found.
+    with the congruence linter.  Exit status 1 if any error is found;
+    ``--json`` emits the findings as a JSON object.
+
+analyze [FILE --sig SIG] [--builtin all|examples|workloads] [--json]
+    Specialization-safety analysis (termination + code bloat): prove
+    that specializing FILE under SIG terminates with bounded residual
+    code, or report ``possible-infinite-specialization`` /
+    ``unbounded-polyvariance`` findings naming the offending call
+    cycle.  ``--builtin`` additionally sweeps the bundled examples
+    and/or the §7 benchmark workloads (the CI self-gate).  Exit status
+    1 on any finding.
 
 stats FILE --sig SIG [--static DATUM ...] [--repeat N] [--json]
     Build a generating extension, apply it N times to the same static
@@ -168,6 +179,8 @@ def cmd_annotate(args: argparse.Namespace) -> int:
 
 
 def cmd_disasm(args: argparse.Namespace) -> int:
+    import json
+
     from repro.vm.verify import check_template
 
     program = _load(args.file, args.goal, args.prelude)
@@ -175,36 +188,59 @@ def cmd_disasm(args: argparse.Namespace) -> int:
         program, compiler=args.compiler, verify=False
     )
     status = 0
+    entries = []
     for name, template in compiled.templates.items():
-        print(disassemble(template))
+        entry: dict = {
+            "template": str(name),
+            "disassembly": disassemble(template),
+        }
         if args.verify:
             report = check_template(template)
-            if report.violations:
-                print(report.pretty())
-            else:
-                print(f";; {name}: verified ok")
+            entry["verified"] = report.ok
+            entry["violations"] = [str(v) for v in report.violations]
             if not report.ok:
                 status = 1
+        entries.append(entry)
+    if args.json:
+        print(json.dumps({"templates": entries, "ok": status == 0}, indent=2))
+        return status
+    for entry in entries:
+        print(entry["disassembly"])
+        if args.verify:
+            if entry["violations"]:
+                print("\n".join(entry["violations"]))
+            else:
+                print(f";; {entry['template']}: verified ok")
         print()
     return status
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
     from repro.pe.check import check_bta
     from repro.vm.verify import check_template
 
     program = _load(args.file, args.goal, args.prelude)
     errors = 0
     warnings = 0
+    bytecode_findings = []
     for backend in ("stock", "auto"):
         compiled = compile_program(program, compiler=backend, verify=False)
         for name, template in compiled.templates.items():
             report = check_template(template)
             if report.violations:
-                print(f";; [{backend}] template {name}:")
-                print(report.pretty())
+                bytecode_findings.append(
+                    {
+                        "backend": backend,
+                        "template": str(name),
+                        "violations": [str(v) for v in report.violations],
+                        "pretty": report.pretty(),
+                    }
+                )
             errors += len(report.errors)
             warnings += len(report.warnings)
+    bta_findings = []
     if args.sig:
         result = analyze(
             program,
@@ -213,14 +249,131 @@ def cmd_lint(args: argparse.Namespace) -> int:
             unfold_hints=args.unfold or (),
         )
         congruence = check_bta(result)
-        for v in congruence:
-            print(f";; [bta] {v}")
+        bta_findings = [str(v) for v in congruence]
         errors += len(congruence)
+    if args.json:
+        print(json.dumps({
+            "clean": errors == 0,
+            "errors": errors,
+            "warnings": warnings,
+            "bytecode": [
+                {k: f[k] for k in ("backend", "template", "violations")}
+                for f in bytecode_findings
+            ],
+            "bta": bta_findings,
+        }, indent=2))
+        return 1 if errors else 0
+    for f in bytecode_findings:
+        print(f";; [{f['backend']}] template {f['template']}:")
+        print(f["pretty"])
+    for v in bta_findings:
+        print(f";; [bta] {v}")
     noun = "signature and bytecode" if args.sig else "bytecode"
     if errors:
         print(f";; lint: {errors} error(s), {warnings} warning(s)")
         return 1
     print(f";; lint: {noun} clean ({warnings} warning(s))")
+    return 0
+
+
+# The built-in targets of ``analyze --builtin``: every Scheme program
+# embedded in examples/ (file, module constant, signature, goal) plus
+# the two §7 benchmark workloads.  CI runs this as a self-gate.
+_EXAMPLE_PROGRAMS = (
+    ("quickstart.py", "POWER", "DS", "power"),
+    ("rtcg_matcher.py", "MATCHER", "SD", "match"),
+    ("incremental_rtcg.py", "ENGINE", "SD", "matches?"),
+)
+
+
+def _builtin_targets(which: str) -> list:
+    """(label, program, signature, goal) tuples for --builtin."""
+    targets = []
+    if which in ("workloads", "all"):
+        from repro.workloads import (
+            LAZY_SIGNATURE,
+            MIXWELL_SIGNATURE,
+            lazy_interpreter,
+            mixwell_interpreter,
+        )
+
+        targets.append(
+            ("workload:mixwell", mixwell_interpreter(), MIXWELL_SIGNATURE, None)
+        )
+        targets.append(
+            ("workload:lazy", lazy_interpreter(), LAZY_SIGNATURE, None)
+        )
+    if which in ("examples", "all"):
+        import importlib.util
+
+        examples = Path(__file__).resolve().parents[2] / "examples"
+        if not examples.is_dir():
+            raise OSError(
+                f"examples directory not found at {examples}"
+                " (--builtin examples needs a repository checkout)"
+            )
+        for fname, const, sig, goal in _EXAMPLE_PROGRAMS:
+            spec = importlib.util.spec_from_file_location(
+                f"_repro_example_{fname[:-3]}", examples / fname
+            )
+            module = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(module)
+            targets.append(
+                (f"example:{fname}:{const}", getattr(module, const), sig, goal)
+            )
+    return targets
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import analyze_program
+
+    targets = []
+    if args.builtin:
+        targets.extend(_builtin_targets(args.builtin))
+    if args.file:
+        if not args.sig:
+            print("error: analyze FILE needs --sig", file=sys.stderr)
+            return 2
+        program = _load(args.file, args.goal, args.prelude)
+        targets.append((args.file, program, args.sig, None))
+    if not targets:
+        print(
+            "error: analyze needs FILE --sig SIG, and/or --builtin",
+            file=sys.stderr,
+        )
+        return 2
+    reports = []
+    total = 0
+    for label, program, sig, goal in targets:
+        memo = args.memo or () if label == args.file else ()
+        unfold = args.unfold or () if label == args.file else ()
+        report = analyze_program(
+            program, sig, goal=goal, memo_hints=memo, unfold_hints=unfold
+        )
+        reports.append((label, report))
+        total += len(report.findings)
+    if args.json:
+        print(json.dumps(
+            {
+                "safe": total == 0,
+                "programs": {
+                    label: report.to_json() for label, report in reports
+                },
+            },
+            indent=2,
+        ))
+        return 1 if total else 0
+    for label, report in reports:
+        print(f";; {label}: {report}")
+        if args.metrics and report.metrics:
+            for name, entry in sorted(report.metrics.items()):
+                print(f";;   {name}: {entry}")
+    if total:
+        print(f";; analyze: {total} finding(s) across {len(reports)} program(s)")
+        return 1
+    print(f";; analyze: {len(reports)} program(s), no findings")
     return 0
 
 
@@ -523,6 +676,10 @@ def main(argv: list[str] | None = None) -> int:
         "--verify", action="store_true",
         help="append each template's verification report",
     )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit templates and verification findings as JSON",
+    )
     p.set_defaults(fn=cmd_disasm)
 
     p = sub.add_parser(
@@ -532,7 +689,38 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--sig", help="binding-time signature, e.g. SD")
     p.add_argument("--memo", action="append", help="memoization hint")
     p.add_argument("--unfold", action="append", help="unfold hint")
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the findings as a JSON object",
+    )
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser(
+        "analyze",
+        help="specialization-safety analysis: termination and code bloat",
+    )
+    p.add_argument("file", nargs="?", help="Scheme source file")
+    p.add_argument("--goal", help="goal function name")
+    p.add_argument(
+        "--prelude", action="store_true", help="splice in the prelude"
+    )
+    p.add_argument("--sig", help="binding-time signature, e.g. SD")
+    p.add_argument("--memo", action="append", help="memoization hint")
+    p.add_argument("--unfold", action="append", help="unfold hint")
+    p.add_argument(
+        "--builtin", choices=("all", "examples", "workloads"),
+        help="also analyze the bundled example programs and/or the §7"
+        " benchmark workloads (the CI self-gate)",
+    )
+    p.add_argument(
+        "--metrics", action="store_true",
+        help="print per-specialization-point code-bloat metrics",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit reports as a JSON object",
+    )
+    p.set_defaults(fn=cmd_analyze)
 
     p = sub.add_parser(
         "stats", help="residual-cache statistics for repeated application"

@@ -1,0 +1,217 @@
+"""Code-bloat estimation for residual programs.
+
+Two products, per residual definition (specialization point):
+
+* **metrics** — diagnostics only, never findings: a lower-bound
+  estimate of the residual code emitted per specialization of the
+  definition (unfold calls inlined, static conditionals counted at the
+  larger branch), the number of dynamic conditionals in value position
+  (each duplicates its continuation under the ``dif`` duplicate
+  strategy), and the number of unfold calls under dynamic control
+  (each dynamic branch point multiplies the inlined code);
+
+* **findings** — ``unbounded-polyvariance``: one per static parameter
+  that the termination analysis found unbounded around a memo cycle.
+  Unbounded polyvariance is the code-bloat face of the same defect:
+  each fresh static value mints a fresh residual definition, so the
+  residual program grows without bound.  The unboundedness is
+  propagated forward: a specialization point fed by an unbounded one
+  inherits the blow-up.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.lang.ast import (
+    App,
+    Const,
+    DApp,
+    DIf,
+    DLam,
+    DPrim,
+    If,
+    Lam,
+    Let,
+    Lift,
+    MemoCall,
+    Prim,
+    Var,
+)
+from repro.analysis.callgraph import CallGraph
+from repro.analysis.fixpoint import Solver
+from repro.analysis.report import AnalysisFinding, AnalysisKind
+
+
+def _estimate(defs: dict, name, stack: frozenset) -> tuple[int, bool]:
+    """(size lower bound, data_dependent) for one specialization."""
+    d = defs[name]
+
+    def est(e) -> tuple[int, bool]:
+        if isinstance(e, (Const, Var, Lift)):
+            return 1, False
+        if isinstance(e, Let):
+            a, da = est(e.rhs)
+            b, db = est(e.body)
+            return a + b + 1, da or db
+        if isinstance(e, (If,)):
+            # One branch survives specialization; count the larger.
+            t, dt = est(e.then)
+            a, da = est(e.alt)
+            return max(t, a), dt or da
+        if isinstance(e, DIf):
+            t, d1 = est(e.test)
+            th, d2 = est(e.then)
+            al, d3 = est(e.alt)
+            return t + th + al + 1, d1 or d2 or d3
+        if isinstance(e, (Prim, DPrim, DApp, MemoCall)):
+            total, dd = 1, False
+            for a in e.children():
+                s, da = est(a)
+                total += s
+                dd = dd or da
+            return total, dd
+        if isinstance(e, (Lam, DLam)):
+            s, dd = est(e.body)
+            return s + 1, dd
+        if isinstance(e, App):
+            if isinstance(e.fn, Var) and e.fn.name in defs:
+                if e.fn.name in stack:
+                    # A recursive unfold: how far it goes depends on
+                    # the static data, so the estimate is a floor.
+                    return 1, True
+                s, dd = _estimate(
+                    defs, e.fn.name, stack | {e.fn.name}
+                )
+                for a in e.args:
+                    sa, da = est(a)
+                    s += sa
+                    dd = dd or da
+                return s, dd
+            total, dd = 1, False
+            for a in (e.fn, *e.args):
+                s, da = est(a)
+                total += s
+                dd = dd or da
+            return total, dd
+        return 1, False
+
+    return est(d.body)
+
+
+def _count(defs: dict, name) -> dict[str, int]:
+    """Per-definition structural counts (no inlining)."""
+    d = defs[name]
+    counts = {"dif_value_positions": 0, "unfolds_under_dynamic": 0,
+              "memo_sites": 0}
+
+    def walk(e, tail: bool, dyn: bool) -> None:
+        if isinstance(e, (Const, Var)):
+            return
+        if isinstance(e, Lift):
+            walk(e.expr, tail, dyn)
+            return
+        if isinstance(e, Let):
+            walk(e.rhs, False, dyn)
+            walk(e.body, tail, dyn)
+            return
+        if isinstance(e, If):
+            walk(e.test, False, dyn)
+            walk(e.then, tail, dyn)
+            walk(e.alt, tail, dyn)
+            return
+        if isinstance(e, DIf):
+            if not tail:
+                # The continuation of a value-position dynamic if is
+                # duplicated into both branches by the specializer.
+                counts["dif_value_positions"] += 1
+            walk(e.test, False, dyn)
+            walk(e.then, tail, True)
+            walk(e.alt, tail, True)
+            return
+        if isinstance(e, (Lam, DLam)):
+            walk(e.body, True, dyn or isinstance(e, DLam))
+            return
+        if isinstance(e, MemoCall):
+            counts["memo_sites"] += 1
+            for a in e.args:
+                walk(a, False, dyn)
+            return
+        if isinstance(e, App):
+            if isinstance(e.fn, Var) and e.fn.name in defs and dyn:
+                counts["unfolds_under_dynamic"] += 1
+            walk(e.fn, False, dyn)
+            for a in e.args:
+                walk(a, False, dyn)
+            return
+        if isinstance(e, (Prim, DPrim, DApp)):
+            for a in e.children():
+                walk(a, False, dyn)
+            return
+
+    walk(d.body, True, False)
+    return counts
+
+
+def check_bloat(graph: CallGraph, memo_failures: list) -> tuple[list, dict]:
+    """Polyvariance findings plus per-residual-definition metrics."""
+    annotated = graph.bta.annotated
+    defs = {d.name: d for d in annotated.defs}
+
+    metrics: dict[str, Any] = {}
+    for d in annotated.defs:
+        if not d.residual:
+            continue
+        size, data_dependent = _estimate(defs, d.name, frozenset([d.name]))
+        entry = dict(_count(defs, d.name))
+        entry["residual_size_estimate"] = size
+        entry["size_is_lower_bound"] = data_dependent
+        metrics[str(d.name)] = entry
+
+    # Direct unboundedness from the termination analysis, then forward
+    # propagation: residual defs reachable from an unbounded one via
+    # memo edges inherit the blow-up (each caller variant mints callee
+    # variants).
+    unbounded: dict[str, set] = {}
+    for fail in memo_failures:
+        unbounded.setdefault(fail.def_name, set()).update(fail.params)
+    if unbounded:
+        succ: dict[str, set] = {}
+        for e in graph.memo_edges:
+            succ.setdefault(e.src, set()).add(e.dst)
+        solver = Solver(lambda a, b: a or b, False)
+        solver.solve(
+            list(graph.nodes),
+            lambda name, s: name in unbounded
+            or any(
+                s.get(pred)
+                for pred, targets in succ.items()
+                if name in targets
+            ),
+        )
+        blown = {n for n, v in solver.env.items() if v}
+    else:
+        blown = set()
+
+    findings = []
+    for fail in memo_failures:
+        for param in fail.params:
+            findings.append(
+                AnalysisFinding(
+                    kind=AnalysisKind.UNBOUNDED_POLYVARIANCE,
+                    def_name=fail.def_name,
+                    path=fail.path,
+                    message=(
+                        f"static parameter {param} of specialization"
+                        f" point {fail.def_name} takes unboundedly many"
+                        " values: the residual program grows without"
+                        " bound"
+                    ),
+                    cycle=fail.cycle,
+                )
+            )
+    for name in sorted(blown):
+        if name in metrics:
+            metrics[name]["unbounded_polyvariance"] = True
+
+    return findings, metrics

@@ -1,0 +1,109 @@
+"""Findings and reports of the specialization-safety analyses.
+
+Findings mirror :class:`repro.pe.check.CongruenceViolation`: a kind, the
+definition they anchor to, an expression path, and a human-readable
+message — plus the offending call cycle, since both client analyses
+reason about cycles of specialization-time calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from repro.pe.errors import PEError
+
+
+class AnalysisKind(Enum):
+    """What a finding claims about the program."""
+
+    # The specializer may unfold forever or build an unbounded set of
+    # residual definitions (termination analysis).
+    POSSIBLE_INFINITE_SPECIALIZATION = "possible-infinite-specialization"
+    # A static parameter of a specialization point takes unboundedly
+    # many values, so the residual program grows without bound (code
+    # bloat analysis).
+    UNBOUNDED_POLYVARIANCE = "unbounded-polyvariance"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True, slots=True)
+class AnalysisFinding:
+    """One analysis finding, in the style of ``pe/check.py``.
+
+    ``cycle`` lists the call edges of the offending cycle as
+    ``"caller -> callee at <expression path>"`` strings; ``path`` is the
+    expression path of the first edge's call site within ``def_name``.
+    """
+
+    kind: AnalysisKind
+    def_name: str
+    path: str
+    message: str
+    cycle: tuple = ()
+
+    def __str__(self) -> str:
+        loc = f"{self.def_name}: {self.path}" if self.path else self.def_name
+        text = f"[{self.kind.value}] {loc}: {self.message}"
+        if self.cycle:
+            text += "".join(f"\n    {edge}" for edge in self.cycle)
+        return text
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind.value,
+            "def": self.def_name,
+            "path": self.path,
+            "message": self.message,
+            "cycle": list(self.cycle),
+        }
+
+
+@dataclass(frozen=True)
+class AnalysisReport:
+    """The combined output of the termination and code-bloat analyses.
+
+    ``findings`` is empty iff the analysis proved the program safe to
+    specialize: every specialization-time call cycle reachable under
+    dynamic control decreases, and every specialization point has
+    bounded polyvariance.  ``metrics`` carries per-residual-definition
+    code-bloat estimates (pure diagnostics — never findings).
+    """
+
+    findings: tuple = ()
+    metrics: dict = field(default_factory=dict)
+
+    @property
+    def safe(self) -> bool:
+        return not self.findings
+
+    def __str__(self) -> str:
+        if self.safe:
+            return "analysis: no findings"
+        lines = [f"analysis: {len(self.findings)} finding(s)"]
+        lines.extend(str(f) for f in self.findings)
+        return "\n".join(lines)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "safe": self.safe,
+            "findings": [f.to_json() for f in self.findings],
+            "metrics": self.metrics,
+        }
+
+
+class UnsafeProgramError(PEError):
+    """Raised in ``forbid`` mode for a program the analysis cannot prove
+    safe to specialize (mirrors ``pe.check.AnnotationViolation``)."""
+
+    def __init__(self, report: AnalysisReport):
+        self.report = report
+        self.findings = report.findings
+        lines = [
+            f"{len(report.findings)} specialization-safety finding(s)"
+        ]
+        lines.extend(f"  {f}" for f in report.findings)
+        super().__init__("\n".join(lines))

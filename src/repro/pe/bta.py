@@ -113,6 +113,43 @@ _CONTAINER_OPS = frozenset(
 )
 
 
+@dataclass(frozen=True)
+class LamSite:
+    """A static (specialization-time) lambda in the annotated program."""
+
+    node: Lam
+    host: Symbol
+    param_bts: tuple
+
+
+@dataclass(frozen=True)
+class ClosureInfo:
+    """Closure-analysis results transferred onto the annotated tree.
+
+    The annotator rebuilds every node, so the analysis's own maps (keyed
+    by prepared-node identity) are useless to clients holding only the
+    annotated program.  This re-keys the interesting part — which static
+    lambdas may be applied at which static closure-application sites —
+    by the identity of *annotated* nodes, for whole-program analyses
+    (:mod:`repro.analysis`) that walk ACS.
+
+    ``lams`` maps ``id(annotated Lam)`` to its :class:`LamSite`;
+    ``apps`` maps ``id(annotated App)`` (closure applications only —
+    apps whose operator is not a top-level function) to the ids of the
+    annotated lambdas that may be applied there.
+    """
+
+    lams: dict
+    apps: dict
+
+    def targets(self, app: App) -> tuple[LamSite, ...]:
+        return tuple(
+            self.lams[lid]
+            for lid in self.apps.get(id(app), ())
+            if lid in self.lams
+        )
+
+
 @dataclass
 class BTAResult:
     """The analysis output: the annotated program plus diagnostics."""
@@ -122,6 +159,7 @@ class BTAResult:
     division: dict
     residual_defs: frozenset
     decisions: dict = field(default_factory=dict)
+    closure: ClosureInfo | None = None
 
 
 def prepare(program: Program) -> Program:
@@ -212,6 +250,10 @@ class _Analysis:
         self.lam_forced: set[int] = set()
         self._memo_called_set: set[Symbol] = set()
         self.changed = False
+        # Annotation-time recordings for ClosureInfo: prepared-lam id ->
+        # (annotated Lam, host def), annotated-App id -> prepared-lam ids.
+        self.ann_lams: dict[int, tuple[Lam, Symbol]] = {}
+        self.ann_closure_apps: dict[int, tuple[int, ...]] = {}
 
         self.sccs = self._call_sccs()
         self.recursive: set[Symbol] = set()
@@ -576,6 +618,23 @@ def analyze(
         for d in prepared.defs
         for name in d.params
     }
+    lams = {
+        id(node): LamSite(
+            node=node,
+            host=host,
+            param_bts=tuple(analysis._get_bt(p) for p in node.params),
+        )
+        for node, host in analysis.ann_lams.values()
+    }
+    prepared_to_ann = {
+        pid: id(node) for pid, (node, _) in analysis.ann_lams.items()
+    }
+    apps = {
+        app_id: tuple(
+            prepared_to_ann[pid] for pid in pids if pid in prepared_to_ann
+        )
+        for app_id, pids in analysis.ann_closure_apps.items()
+    }
     return BTAResult(
         annotated=annotated,
         prepared=prepared,
@@ -583,6 +642,7 @@ def analyze(
         residual_defs=frozenset(
             d.name for d in annotated.defs if d.residual
         ),
+        closure=ClosureInfo(lams=lams, apps=apps),
     )
 
 
@@ -655,7 +715,9 @@ class _Annotator:
                     "a static lambda reached a dynamic context without"
                     " being forced; analysis bug"
                 )
-            return Lam(e.params, self.annotate(e.body, demand=False))
+            new = Lam(e.params, self.annotate(e.body, demand=False))
+            a.ann_lams[id(e)] = (new, self.host)
+            return new
 
         if isinstance(e, Let):
             return Let(
@@ -730,13 +792,13 @@ class _Annotator:
                     demand,
                 )
             # Static closure application (unfolding).
-            return self._wrap(
-                App(
-                    self.annotate(e.fn, demand=False),
-                    tuple(self.annotate(x, demand=False) for x in e.args),
-                ),
-                e,
-                demand,
+            new = App(
+                self.annotate(e.fn, demand=False),
+                tuple(self.annotate(x, demand=False) for x in e.args),
             )
+            lam_ids = tuple(i[1] for i in callables if i[0] == "lam")
+            if lam_ids:
+                a.ann_closure_apps[id(new)] = lam_ids
+            return self._wrap(new, e, demand)
 
         raise BindingTimeError(f"cannot annotate {type(e).__name__}")

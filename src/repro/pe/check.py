@@ -140,6 +140,30 @@ def check_bta(result) -> list[CongruenceViolation]:
     return check_annotated(result.annotated)
 
 
+def check_specialization_safety(result):
+    """Run the specialization-safety analyses on a BTA result.
+
+    Congruence (this module) says the annotation is *consistent*; the
+    safety analyses (:mod:`repro.analysis`) say specializing under it
+    *terminates with bounded output*.  Returns the
+    :class:`~repro.analysis.AnalysisReport` — findings instead of
+    exceptions, in the style of :func:`check_annotated`.
+    """
+    from repro.analysis import analyze_bta
+
+    return analyze_bta(result)
+
+
+def verify_specialization_safety(result) -> None:
+    """Raise :class:`~repro.analysis.UnsafeProgramError` on findings
+    (the ``forbid`` discipline, mirroring :func:`verify_annotated`)."""
+    from repro.analysis import UnsafeProgramError
+
+    report = check_specialization_safety(result)
+    if not report.safe:
+        raise UnsafeProgramError(report)
+
+
 # Position disciplines.
 _ANY = "any"        # no local requirement (e.g. unfold-call arguments)
 _VALUE = "value"    # must be a specialization-time value: rejects definite D

@@ -44,7 +44,7 @@ from repro.lang.prims import PRIMITIVES, PrimSpec
 from repro.interp import PrimProcedure
 from repro.pe.annprog import AnnDef, AnnotatedProgram, BindingTime
 from repro.pe.backend import Backend, ResidualProgram, SourceBackend
-from repro.pe.errors import BindingTimeError, SpecializationError
+from repro.pe.errors import BindingTimeError, BudgetExceeded, SpecializationError
 from repro.pe.limits import ensure_recursion_limit
 from repro.pe.residual_cache import ResidualCache
 from repro.pe.values import (
@@ -77,6 +77,11 @@ class _Runtime:
         "max_residual_defs",
         "residual_def_count",
         "freeze_cache",
+        "max_unfold_depth",
+        "max_residual_size",
+        "residual_size",
+        "unfold_stack",
+        "draining",
     )
 
     def __init__(
@@ -84,6 +89,8 @@ class _Runtime:
         backend: Backend,
         max_residual_defs: int,
         name_gensym: Gensym,
+        max_unfold_depth: int = 5_000,
+        max_residual_size: int = 1_000_000,
     ):
         self.backend = backend
         self.gensym = Gensym("y")
@@ -93,6 +100,33 @@ class _Runtime:
         self.max_residual_defs = max_residual_defs
         self.residual_def_count = 0
         self.freeze_cache = FreezeCache()
+        # Same runtime backstop as the interpretive specializer.
+        self.max_unfold_depth = max_unfold_depth
+        self.max_residual_size = max_residual_size
+        self.residual_size = 0
+        self.unfold_stack: list[str] = []
+        self.draining: Symbol | None = None
+
+    def charge(self, n: int = 1) -> None:
+        self.residual_size += n
+        if self.residual_size > self.max_residual_size:
+            raise BudgetExceeded(
+                "max_residual_size",
+                self.max_residual_size,
+                cycle=self.repeating_cycle(),
+            )
+
+    def repeating_cycle(self) -> tuple[str, ...]:
+        stack = self.unfold_stack
+        if not stack:
+            if self.draining is not None:
+                return (str(self.draining),)
+            return ()
+        top = stack[-1]
+        for i in range(len(stack) - 2, -1, -1):
+            if stack[i] == top:
+                return tuple(stack[i:][:32])
+        return (top,)
 
 
 class _TailCont:
@@ -137,6 +171,7 @@ def _triv(rt: _Runtime, value: Any) -> Any:
 
 
 def _insert_let(rt: _Runtime, serious: Any, k: Callable) -> Any:
+    rt.charge()
     if isinstance(k, _TailCont):
         return rt.backend.tail(serious)
     fresh = rt.gensym.fresh("t")
@@ -170,6 +205,8 @@ class CompiledGeneratingExtension:
         max_residual_defs: int = 10_000,
         name_gensym: Gensym | None = None,
         use_cache: bool = False,
+        max_unfold_depth: int = 5_000,
+        max_residual_size: int = 1_000_000,
     ) -> ResidualProgram:
         """Map static input to a residual program.
 
@@ -190,14 +227,24 @@ class CompiledGeneratingExtension:
             result, hit = self.cache.get_or_generate(
                 key,
                 lambda: self._generate(
-                    static_args, backend, max_residual_defs, name_gensym
+                    static_args,
+                    backend,
+                    max_residual_defs,
+                    name_gensym,
+                    max_unfold_depth,
+                    max_residual_size,
                 ),
             )
             result.stats["cache_hit"] = hit
             result.stats["cache"] = self.cache.stats()
             return result
         return self._generate(
-            static_args, backend, max_residual_defs, name_gensym
+            static_args,
+            backend,
+            max_residual_defs,
+            name_gensym,
+            max_unfold_depth,
+            max_residual_size,
         )
 
     def _generate(
@@ -206,6 +253,8 @@ class CompiledGeneratingExtension:
         backend: Backend | None = None,
         max_residual_defs: int = 10_000,
         name_gensym: Gensym | None = None,
+        max_unfold_depth: int = 5_000,
+        max_residual_size: int = 1_000_000,
     ) -> ResidualProgram:
         backend = backend if backend is not None else SourceBackend()
         from repro.pe.specializer import Specializer
@@ -214,6 +263,8 @@ class CompiledGeneratingExtension:
             backend,
             max_residual_defs,
             name_gensym or Specializer._shared_names,
+            max_unfold_depth=max_unfold_depth,
+            max_residual_size=max_residual_size,
         )
         goal, _ = self._defs[self.annotated.goal]
         statics = list(static_args)
@@ -231,10 +282,20 @@ class CompiledGeneratingExtension:
                 args.append(Dynamic(backend.var(p)))
         # One-time process-wide floor; never restored (see pe.limits).
         ensure_recursion_limit()
-        residual_goal, dyn_params = self._memoize(rt, goal, args)
-        self._drain(rt)
+        try:
+            residual_goal, dyn_params = self._memoize(rt, goal, args)
+            self._drain(rt)
+        except RecursionError:
+            import sys
+
+            raise BudgetExceeded(
+                "python-recursion-limit",
+                sys.getrecursionlimit(),
+                cycle=rt.repeating_cycle(),
+            ) from None
         result = backend.finish(residual_goal, dyn_params)
         result.stats["residual_defs"] = rt.residual_def_count
+        result.stats["residual_size"] = rt.residual_size
         return result
 
     __call__ = generate
@@ -271,12 +332,15 @@ class CompiledGeneratingExtension:
     def _drain(self, rt: _Runtime) -> None:
         while rt.pending:
             residual_name, dyn_params, d, env = rt.pending.popleft()
+            rt.draining = d.name
             rt.residual_def_count += 1
             if rt.residual_def_count > rt.max_residual_defs:
-                raise SpecializationError(
-                    "residual definition limit exceeded (generating"
-                    " extension)"
+                raise BudgetExceeded(
+                    "max_residual_defs",
+                    rt.max_residual_defs,
+                    cycle=rt.repeating_cycle(),
                 )
+            rt.charge()
             _, code = self._defs[d.name]
             body = code(env, rt, _TailCont(rt))
             rt.backend.define(residual_name, dyn_params, body)
@@ -365,13 +429,13 @@ class CompiledGeneratingExtension:
             then, alt = self._comp(e.then), self._comp(e.alt)
 
             def dif_code(env, rt, k):
-                return test(
-                    env,
-                    rt,
-                    lambda v: rt.backend.if_(
+                def emit(v):
+                    rt.charge()
+                    return rt.backend.if_(
                         _triv(rt, v), then(env, rt, k), alt(env, rt, k)
-                    ),
-                )
+                    )
+
+                return test(env, rt, emit)
 
             return dif_code
 
@@ -423,6 +487,7 @@ class CompiledGeneratingExtension:
             body_code = self._comp(e.body)
 
             def dlam_code(env, rt, k):
+                rt.charge()
                 fresh = tuple(rt.gensym.fresh(p) for p in params)
                 inner = dict(env)
                 for p, f in zip(params, fresh):
@@ -450,7 +515,17 @@ class CompiledGeneratingExtension:
                             )
                         inner = dict(clo.env)
                         inner.update(zip(clo.params, args))
-                        return clo.code(inner, rt, k)
+                        rt.unfold_stack.append(clo.name)
+                        if len(rt.unfold_stack) > rt.max_unfold_depth:
+                            raise BudgetExceeded(
+                                "max_unfold_depth",
+                                rt.max_unfold_depth,
+                                cycle=rt.repeating_cycle(),
+                            )
+                        try:
+                            return clo.code(inner, rt, k)
+                        finally:
+                            rt.unfold_stack.pop()
                     if isinstance(fn, Static) and isinstance(
                         fn.value, (PrimSpec, PrimProcedure)
                     ):

@@ -14,3 +14,30 @@ class BindingTimeError(PEError):
 
 class SpecializationError(PEError):
     """Specialization failed (spec-time error, or resource bound hit)."""
+
+
+class BudgetExceeded(SpecializationError):
+    """A specialization resource budget ran out.
+
+    ``budget`` names the exhausted knob (``"max_unfold_depth"``,
+    ``"max_residual_size"``, or ``"python-recursion-limit"``), ``limit``
+    its value, and ``cycle`` the repeating static call cycle the
+    specializer was inside when the budget tripped — the names the
+    static analyzer would have flagged.
+    """
+
+    def __init__(self, budget: str, limit: int, cycle: tuple = ()):
+        self.budget = budget
+        self.limit = limit
+        self.cycle = tuple(cycle)
+        msg = f"specialization exceeded {budget}={limit}"
+        if self.cycle:
+            msg += (
+                " while specializing the static call cycle "
+                + " -> ".join(self.cycle)
+            )
+        msg += (
+            "; specialization probably does not terminate"
+            " (run `repro analyze` for a static diagnosis)"
+        )
+        super().__init__(msg)

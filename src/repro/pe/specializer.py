@@ -48,7 +48,7 @@ from repro.lang.gensym import Gensym
 from repro.lang.prims import PRIMITIVES, PrimSpec
 from repro.pe.annprog import AnnDef, AnnotatedProgram, BindingTime
 from repro.pe.backend import Backend, ResidualProgram, SourceBackend
-from repro.pe.errors import BindingTimeError, SpecializationError
+from repro.pe.errors import BindingTimeError, BudgetExceeded, SpecializationError
 from repro.pe.limits import ensure_recursion_limit
 from repro.pe.values import (
     Dynamic,
@@ -98,6 +98,8 @@ class Specializer:
         max_residual_defs: int = 10_000,
         name_gensym: Gensym | None = None,
         dif_strategy: str = "duplicate",
+        max_unfold_depth: int = 5_000,
+        max_residual_size: int = 1_000_000,
     ):
         """``dif_strategy`` controls dynamic conditionals in *value*
         position.  ``"duplicate"`` is Fig. 3's rule: the continuation is
@@ -122,6 +124,15 @@ class Specializer:
         self.pending: deque[tuple[Symbol, AnnDef, dict]] = deque()
         self.max_residual_defs = max_residual_defs
         self.residual_def_count = 0
+        # Runtime backstop for the static termination analysis: budgets
+        # on unfold nesting and on emitted residual code, so a diverging
+        # specialization stops with a diagnosis instead of eating the
+        # interpreter stack or all available memory.
+        self.max_unfold_depth = max_unfold_depth
+        self.max_residual_size = max_residual_size
+        self.residual_size = 0
+        self._unfold_stack: list[str] = []
+        self._draining: Symbol | None = None
 
     # -- entry point -------------------------------------------------------------
 
@@ -148,11 +159,24 @@ class Specializer:
         # One-time process-wide floor: never saved/restored, so nested
         # and concurrent runs cannot clobber each other (see pe.limits).
         ensure_recursion_limit()
-        residual_goal, dyn_params = self._memoize(goal, args, entry=True)
-        self._drain()
+        try:
+            residual_goal, dyn_params = self._memoize(goal, args, entry=True)
+            self._drain()
+        except RecursionError:
+            # Deep non-unfold structure (long let chains, etc.) blew the
+            # interpreter stack before max_unfold_depth tripped; report
+            # it with the same diagnosis instead of a bare traceback.
+            import sys
+
+            raise BudgetExceeded(
+                "python-recursion-limit",
+                sys.getrecursionlimit(),
+                cycle=self._repeating_cycle(),
+            ) from None
         result = self.backend.finish(residual_goal, dyn_params)
         result.stats["residual_defs"] = self.residual_def_count
         result.stats["memo_entries"] = len(self.memo)
+        result.stats["residual_size"] = self.residual_size
         return result
 
     # -- memoization ----------------------------------------------------------------
@@ -194,14 +218,15 @@ class Specializer:
     def _drain(self) -> None:
         while self.pending:
             residual_name, dyn_params, d, env = self.pending.popleft()
+            self._draining = d.name
             self.residual_def_count += 1
             if self.residual_def_count > self.max_residual_defs:
-                raise SpecializationError(
-                    "residual definition limit exceeded"
-                    " (specialization probably does not terminate;"
-                    " see the paper's discussion of incremental"
-                    " specialization [60])"
+                raise BudgetExceeded(
+                    "max_residual_defs",
+                    self.max_residual_defs,
+                    cycle=self._repeating_cycle(),
                 )
+            self._charge()
             body = self.spec(d.body, env, _TailCont(self))
             self.backend.define(residual_name, dyn_params, body)
 
@@ -250,6 +275,7 @@ class Specializer:
 
         if isinstance(expr, DIf):
             def emit_dif(v: Value) -> Any:
+                self._charge()
                 test = self.coerce_trivial(v)
                 if self.dif_strategy == "join" and not isinstance(
                     k, _TailCont
@@ -318,6 +344,7 @@ class Specializer:
             return self._spec_list(list(expr.args), env, emit_prim)
 
         if isinstance(expr, DLam):
+            self._charge()
             fresh = tuple(self.gensym.fresh(p) for p in expr.params)
             inner_env = dict(env)
             for p, f in zip(expr.params, fresh):
@@ -337,7 +364,19 @@ class Specializer:
                         )
                     inner = dict(clo.env)
                     inner.update(zip(clo.params, args))
-                    return self.spec(clo.body, inner, k)
+                    # The continuation runs inside this call (CPS), so
+                    # stack depth tracks unfold nesting exactly.
+                    self._unfold_stack.append(clo.name)
+                    if len(self._unfold_stack) > self.max_unfold_depth:
+                        raise BudgetExceeded(
+                            "max_unfold_depth",
+                            self.max_unfold_depth,
+                            cycle=self._repeating_cycle(),
+                        )
+                    try:
+                        return self.spec(clo.body, inner, k)
+                    finally:
+                        self._unfold_stack.pop()
                 if isinstance(fn, Static) and isinstance(
                     fn.value, (PrimSpec, PrimProcedure)
                 ):
@@ -414,8 +453,34 @@ class Specializer:
 
         return go(0, [])
 
+    def _charge(self, n: int = 1) -> None:
+        """Account for ``n`` serious residual constructs being emitted."""
+        self.residual_size += n
+        if self.residual_size > self.max_residual_size:
+            raise BudgetExceeded(
+                "max_residual_size",
+                self.max_residual_size,
+                cycle=self._repeating_cycle(),
+            )
+
+    def _repeating_cycle(self) -> tuple[str, ...]:
+        """The repeating suffix of the unfold stack, innermost cycle."""
+        stack = self._unfold_stack
+        if not stack:
+            # No unfold in flight: a memo-driven blow-up; name the
+            # specialization point being drained.
+            if self._draining is not None:
+                return (str(self._draining),)
+            return ()
+        top = stack[-1]
+        for i in range(len(stack) - 2, -1, -1):
+            if stack[i] == top:
+                return tuple(stack[i:][:32])
+        return (top,)
+
     def _insert_let(self, serious: Any, k: Cont) -> Any:
         """Fig. 3's let-wrapping, with the tail-position refinement."""
+        self._charge()
         if isinstance(k, _TailCont):
             return self.backend.tail(serious)
         fresh = self.gensym.fresh("t")
@@ -465,8 +530,14 @@ def specialize(
     static_args: Sequence[Any],
     backend: Backend | None = None,
     max_residual_defs: int = 10_000,
+    max_unfold_depth: int = 5_000,
+    max_residual_size: int = 1_000_000,
 ) -> ResidualProgram:
     """Specialize ``annotated``'s goal to the given static arguments."""
     return Specializer(
-        annotated, backend=backend, max_residual_defs=max_residual_defs
+        annotated,
+        backend=backend,
+        max_residual_defs=max_residual_defs,
+        max_unfold_depth=max_unfold_depth,
+        max_residual_size=max_residual_size,
     ).run(static_args)

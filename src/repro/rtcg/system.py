@@ -17,7 +17,8 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.pe.cogen import CompiledGeneratingExtension
 from repro.lang.parser import parse_program
 from repro.pe.backend import ResidualProgram, SourceBackend
-from repro.pe.bta import BTAResult, analyze
+from repro.pe.bta import BTAResult, analyze as bta_analyze
+from repro.pe.errors import BudgetExceeded
 from repro.pe.residual_cache import ResidualCache
 from repro.pe.specializer import Specializer
 from repro.pe.values import freeze_static
@@ -101,12 +102,17 @@ class GeneratingExtension:
         store_dir: Any = None,
         store_max_bytes: int | None = None,
         verify_on_load: bool = True,
+        analyze: str = "warn",
+        max_unfold_depth: int = 5_000,
+        max_residual_size: int = 1_000_000,
     ):
+        if analyze not in ("warn", "forbid", "off"):
+            raise ValueError(f"unknown analyze mode {analyze!r}")
         if isinstance(program, str):
             program = parse_program(program, goal=goal)
         self.program = program
         self.signature = signature
-        self.bta: BTAResult = analyze(
+        self.bta: BTAResult = bta_analyze(
             program, signature, memo_hints=memo_hints, unfold_hints=unfold_hints
         )
         if check_congruence:
@@ -116,6 +122,27 @@ class GeneratingExtension:
             from repro.pe.check import verify_annotated
 
             verify_annotated(self.bta.annotated)
+        # Specialization-safety analysis, up front: findings either warn
+        # (the runtime budgets below still backstop actual divergence) or
+        # forbid (refuse the program before any specialization runs).
+        self.analysis_report = None
+        if analyze != "off":
+            from repro.analysis import analyze_bta
+            from repro.analysis.report import UnsafeProgramError
+
+            self.analysis_report = analyze_bta(self.bta)
+            if not self.analysis_report.safe:
+                if analyze == "forbid":
+                    raise UnsafeProgramError(self.analysis_report)
+                import warnings
+
+                warnings.warn(
+                    "specialization-safety analysis reported findings:\n"
+                    + str(self.analysis_report),
+                    stacklevel=2,
+                )
+        self.max_unfold_depth = max_unfold_depth
+        self.max_residual_size = max_residual_size
         self._cache_size = cache_size
         self.cache = ResidualCache(cache_size)
         self.verify_on_load = verify_on_load
@@ -130,6 +157,7 @@ class GeneratingExtension:
             )
         self._spec_lock = threading.Lock()
         self._specializer_runs = 0
+        self._budget_trips = 0
 
     def compiled(self) -> "CompiledGeneratingExtension":
         """Compile this generating extension (the cogen path, [59]).
@@ -193,12 +221,19 @@ class GeneratingExtension:
             # A private name supply per run keeps residual naming
             # deterministic (byte-identical regeneration) and isolates
             # concurrent runs from each other.
-            residual = Specializer(
-                self.bta.annotated,
-                make_backend(),
-                dif_strategy=dif_strategy,
-                name_gensym=Gensym("f"),
-            ).run(static_args)
+            try:
+                residual = Specializer(
+                    self.bta.annotated,
+                    make_backend(),
+                    dif_strategy=dif_strategy,
+                    name_gensym=Gensym("f"),
+                    max_unfold_depth=self.max_unfold_depth,
+                    max_residual_size=self.max_residual_size,
+                ).run(static_args)
+            except BudgetExceeded:
+                with self._spec_lock:
+                    self._budget_trips += 1
+                raise
             with self._spec_lock:
                 self._specializer_runs += 1
             if store is not None and persist_key is not None:
@@ -271,6 +306,7 @@ class GeneratingExtension:
         stats = self.cache.stats()
         with self._spec_lock:
             stats["specializer_runs"] = self._specializer_runs
+            stats["budget_trips"] = self._budget_trips
         if self.store is not None:
             stats["store"] = self.store.stats()
         return stats
@@ -289,13 +325,18 @@ def make_generating_extension(
     store_dir: Any = None,
     store_max_bytes: int | None = None,
     verify_on_load: bool = True,
+    analyze: str = "warn",
+    max_unfold_depth: int = 5_000,
+    max_residual_size: int = 1_000_000,
 ) -> GeneratingExtension:
     """Build a generating extension (BTA happens here, once)."""
     return GeneratingExtension(
         program, signature, goal=goal, memo_hints=memo_hints,
         unfold_hints=unfold_hints, cache_size=cache_size,
         store_dir=store_dir, store_max_bytes=store_max_bytes,
-        verify_on_load=verify_on_load,
+        verify_on_load=verify_on_load, analyze=analyze,
+        max_unfold_depth=max_unfold_depth,
+        max_residual_size=max_residual_size,
     )
 
 

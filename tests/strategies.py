@@ -10,7 +10,11 @@ from __future__ import annotations
 
 from hypothesis import strategies as st
 
+from repro.pe.annprog import AnnDef, AnnotatedProgram, BindingTime
 from repro.sexp.datum import Char, sym
+
+_S = BindingTime.STATIC
+_D = BindingTime.DYNAMIC
 
 # -- data ---------------------------------------------------------------------
 
@@ -147,3 +151,73 @@ def higher_order_exprs(draw, depth: int = 3, env: tuple = ()):  # type: ignore[n
     if env and draw(st.booleans()):
         return draw(st.sampled_from(env))
     return str(draw(_INT))
+
+
+# -- annotated programs ---------------------------------------------------------
+# Hand-built Annotated Core Scheme, for tests that corrupt or inspect
+# annotations directly (congruence linter, safety analyzer).
+
+
+def annotated_program(
+    body, params=("s", "d"), bts=(_S, _D), residual=True, extra=()
+):
+    """A one-definition annotated program ``main`` around ``body``."""
+    main = AnnDef(
+        name=sym("main"),
+        params=tuple(sym(p) for p in params),
+        bts=tuple(bts),
+        body=body,
+        residual=residual,
+    )
+    return AnnotatedProgram(defs=(main,) + tuple(extra), goal=sym("main"))
+
+
+# -- specialization-safe programs -----------------------------------------------
+# Source programs whose static recursion descends under a static guard —
+# the shapes the specialization-safety analyzer must accept at ``forbid``
+# level, paired with a static input on which specialization terminates.
+
+
+@st.composite
+def guarded_descent_programs(draw):  # type: ignore[no-untyped-def]
+    """``(source, signature, goal, static_args)`` of a provably safe
+    recursive program; ``static_args`` are Python values."""
+    n = draw(st.integers(min_value=0, max_value=5))
+    items = draw(st.lists(_INT, max_size=5))
+    filler = draw(st.sampled_from(["(cons 1 d)", "(cdr d)", "d"]))
+    shape = draw(
+        st.sampled_from(
+            ["numeric", "list", "mutual", "accumulator", "dynamic-control"]
+        )
+    )
+    if shape == "numeric":
+        # Static countdown under a static guard.
+        src = f"(define (f s d) (if (zero? s) d (f (- s 1) {filler})))"
+        return src, "SD", "f", (n,)
+    if shape == "list":
+        # Structural descent under a static guard.
+        src = f"(define (f s d) (if (null? s) d (f (cdr s) {filler})))"
+        return src, "SD", "f", (items,)
+    if shape == "mutual":
+        # The descent spans a two-function cycle.
+        src = (
+            f"(define (f s d) (if (null? s) d (g (cdr s) {filler})))"
+            "(define (g s d) (if (null? s) d (f (cdr s) d)))"
+        )
+        return src, "SD", "f", (items,)
+    if shape == "accumulator":
+        # One static grows, paid for by the other's descent.
+        src = (
+            "(define (f s acc d)"
+            " (if (null? s) (cons acc d)"
+            " (f (cdr s) (cons (car s) acc) d)))"
+        )
+        return src, "SSD", "f", (items, [])
+    # dynamic-control: the recursive call sits under a *dynamic*
+    # conditional, so suppression does not apply — the analyzer must
+    # prove the static parameter's structural descent.
+    src = (
+        "(define (f s d)"
+        " (if (null? s) 0 (if (null? d) 1 (f (cdr s) (cdr d)))))"
+    )
+    return src, "SD", "f", (items,)

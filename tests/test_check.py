@@ -23,7 +23,7 @@ from repro.lang.ast import (
     Prim,
     Var,
 )
-from repro.pe.annprog import AnnDef, AnnotatedProgram, BindingTime
+from repro.pe.annprog import AnnDef, BindingTime
 from repro.pe.bta import analyze
 from repro.pe.check import (
     AnnotationViolation,
@@ -34,6 +34,8 @@ from repro.pe.check import (
 )
 from repro.lang.parser import parse_program
 from repro.sexp.datum import sym
+
+from tests.strategies import annotated_program as _program
 
 S = BindingTime.STATIC
 D = BindingTime.DYNAMIC
@@ -81,17 +83,6 @@ class TestBTAOutputIsCongruent:
 
 
 # -- corrupted annotations are rejected ---------------------------------------
-
-
-def _program(body, params=("s", "d"), bts=(S, D), residual=True, extra=()):
-    main = AnnDef(
-        name=sym("main"),
-        params=tuple(sym(p) for p in params),
-        bts=tuple(bts),
-        body=body,
-        residual=residual,
-    )
-    return AnnotatedProgram(defs=(main,) + tuple(extra), goal=sym("main"))
 
 
 def _violation_kinds(annotated):

@@ -116,7 +116,7 @@ class TestCogenErrors:
         program = parse_program(src, goal="grow")
         res = analyze(program, "SD", memo_hints=["grow"])
         extension = compile_generating_extension(res.annotated)
-        with pytest.raises(SpecializationError, match="limit"):
+        with pytest.raises(SpecializationError, match="exceeded"):
             extension.generate([0], max_residual_defs=30)
 
     def test_generation_time_error(self):

@@ -166,7 +166,7 @@ class TestMemoization:
         program = parse_program(src, goal="grow")
         res = analyze(program, "SD", memo_hints=["grow"])
         spec = Specializer(res.annotated, SourceBackend(), max_residual_defs=40)
-        with pytest.raises(SpecializationError, match="limit"):
+        with pytest.raises(SpecializationError, match="exceeded"):
             spec.run([0])
 
 
