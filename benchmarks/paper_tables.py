@@ -55,6 +55,27 @@ def workloads():
     ]
 
 
+def stage_breakdown(rows) -> None:
+    """Per-stage wall-clock totals from ``cache_stats()["stages"]``.
+
+    ``GeneratingExtension`` times every pipeline stage it drives (BTA,
+    congruence lint, safety analysis, specialization, store traffic)
+    with cheap always-on counters; fold them under the figure so the
+    headline numbers come with their decomposition.
+    """
+    print("stage breakdown (from `cache_stats()[\"stages\"]`):")
+    print()
+    print("| workload | stage | calls | total (ms) |")
+    print("|---|---|---|---|")
+    for name, stages in rows:
+        for stage, entry in sorted(stages.items()):
+            print(
+                f"| {name} | {stage} | {entry['count']} |"
+                f" {ms(entry['seconds'])} |"
+            )
+    print()
+
+
 def fig6(store_root=None) -> None:
     print("## Figure 6 — Generation speed (ms, best of N)")
     print()
@@ -66,8 +87,10 @@ def fig6(store_root=None) -> None:
     print("|---|---|---|---|---|---|---|---|---|---|")
     paper = {"MIXWELL": (3.072, 3.770), "LAZY": (1.832, 3.451)}
     store_root = Path(store_root or tempfile.mkdtemp(prefix="repro-fig6-"))
+    stage_rows = []
     for name, interp, sig, static in workloads():
-        ext = make_generating_extension(interp, sig).compiled()
+        gen = make_generating_extension(interp, sig)
+        ext = gen.compiled()
         t_src = best_of(lambda: ext.generate([static], backend=SourceBackend()))
         t_obj = best_of(
             lambda: ext.generate(
@@ -100,7 +123,14 @@ def fig6(store_root=None) -> None:
             f" {p_src} | {p_obj} |"
             f" {p_obj / p_src:.2f}x |"
         )
+        # One cold generation through the uncompiled extension so the
+        # specialize stage shows up next to BTA/lint/safety from
+        # construction.
+        gen.cache_clear()
+        gen.to_object_code([static])
+        stage_rows.append((name, gen.cache_stats()["stages"]))
     print()
+    stage_breakdown(stage_rows)
 
 
 def fig7() -> None:
@@ -138,6 +168,7 @@ def fig8(store_root=None) -> None:
     print("| workload | BTA | Load | Generate | Compile | Warm start |")
     print("|---|---|---|---|---|---|")
     store_root = Path(store_root or tempfile.mkdtemp(prefix="repro-fig8-"))
+    stage_rows = []
     for name, interp, sig, static in workloads():
         t_bta = best_of(lambda: analyze(interp, "DD"), rounds=5)
         bta = analyze(interp, "DD")
@@ -173,7 +204,9 @@ def fig8(store_root=None) -> None:
             f"| {name} | {ms(t_bta)} | {ms(t_load)} |"
             f" {ms(t_gen)} | {ms(t_compile)} | {ms(t_warm)} |"
         )
+        stage_rows.append((name, warm_gen.cache_stats()["stages"]))
     print()
+    stage_breakdown(stage_rows)
     print("paper (s): MIXWELL 2.730 / 4.026 / 0.652 / 0.964;"
           " LAZY 2.253 / 3.217 / 0.568 / 0.604"
           " (warm start has no paper analogue: residual code did not"

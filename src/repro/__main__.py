@@ -67,6 +67,20 @@ image gc --store DIR [--max-bytes N] [--json]
     Evict least-recently-used images beyond the size budget and drop
     dangling index references.
 
+trace [FILE --sig SIG] [--builtin all|examples|workloads] [--json] [-o OUT]
+    Run the full pipeline (build extension, generate object code, run
+    it) with the span tracer and metrics registry enabled; print a text
+    tree of every pipeline stage (BTA, congruence, safety analysis,
+    specialize, assemble, verify, caches) with durations, or — with
+    ``--json`` — the Chrome trace-event JSON (load it in
+    ``chrome://tracing`` or https://ui.perfetto.dev).
+
+profile [FILE --sig SIG] [--builtin all|examples|workloads] [--json]
+    Generate object code and run it under the VM's *counting* dispatch
+    loop: per-opcode execution counts, per-template invocation and
+    instruction counts, and the hot-template ranking.  ``--repeat N``
+    runs the residual program N times (counts accumulate).
+
 combinators
     Print the generated code-generation combinator module (Act 3's file).
 
@@ -374,6 +388,151 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         print(f";; analyze: {total} finding(s) across {len(reports)} program(s)")
         return 1
     print(f";; analyze: {len(reports)} program(s), no findings")
+    return 0
+
+
+# Sample static/dynamic arguments (Scheme data) for the built-in
+# targets, so ``trace``/``profile --builtin`` exercise the whole
+# pipeline end to end, including running the residual code.
+_BUILTIN_RUN_ARGS = {
+    "example:quickstart.py:POWER": (["5"], ["2"]),
+    "example:rtcg_matcher.py:MATCHER": (
+        ["(config (host (? h)) (port (? p)) (host (? h)))"],
+        ["(config (host a) (port 80) (host a))"],
+    ),
+    "example:incremental_rtcg.py:ENGINE": (
+        ["((age gt 30) (dept eq engineering) (level lt 5))"],
+        ["((age 41) (dept engineering) (level 3))"],
+    ),
+}
+
+
+def _runnable_targets(args: argparse.Namespace) -> list:
+    """(label, program, sig, goal, statics, dynamics) for trace/profile.
+
+    Static/dynamic arguments come from ``--static``/``--dynamic`` for a
+    FILE target and from :data:`_BUILTIN_RUN_ARGS` (or the §7 workload
+    inputs) for ``--builtin`` targets.
+    """
+    targets = []
+    if args.builtin:
+        for label, program, sig, goal in _builtin_targets(args.builtin):
+            if label in _BUILTIN_RUN_ARGS:
+                statics_raw, dynamics_raw = _BUILTIN_RUN_ARGS[label]
+                statics = _data(statics_raw)
+                dynamics = _data(dynamics_raw)
+            elif label == "workload:mixwell":
+                from repro.workloads import mixwell_tm_program
+
+                statics = [mixwell_tm_program()]
+                dynamics = [datum_to_value([1, 0, 1, 1, 0, 1])]
+            elif label == "workload:lazy":
+                from repro.workloads import lazy_primes_program
+
+                statics = [lazy_primes_program()]
+                dynamics = [4]
+            else:  # pragma: no cover - new builtin without run args
+                raise ValueError(
+                    f"no sample run arguments for builtin {label}"
+                )
+            targets.append((label, program, sig, goal, statics, dynamics))
+    if args.file:
+        if not args.sig:
+            raise ValueError(f"{args.command} FILE needs --sig")
+        program = _load(args.file, args.goal, args.prelude)
+        targets.append((
+            args.file, program, args.sig, None,
+            _data(args.static or []), _data(args.dynamic or []),
+        ))
+    if not targets:
+        raise ValueError(
+            f"{args.command} needs FILE --sig SIG, and/or --builtin"
+        )
+    return targets
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import obs
+    from repro.rtcg import GeneratingExtension
+
+    targets = _runnable_targets(args)
+    extensions = []
+    with obs.tracing() as (tracer, metrics):
+        for label, program, sig, goal, statics, dynamics in targets:
+            with obs.span("pipeline", target=label):
+                gen = GeneratingExtension(program, sig, goal=goal)
+                residual = gen.to_object_code(
+                    statics, dif_strategy=args.dif_strategy
+                )
+                with obs.span("vm.run", target=label):
+                    residual.run(dynamics)
+            extensions.append((label, gen))
+    if args.json:
+        trace = tracer.chrome_trace()
+        if args.out:
+            with open(args.out, "w") as fh:
+                json.dump(trace, fh, indent=2)
+            print(f";; wrote {len(trace['traceEvents'])} events to {args.out}")
+        else:
+            print(json.dumps(trace, indent=2))
+        return 0
+    print(tracer.report())
+    print()
+    print(";; stage totals")
+    for name, entry in tracer.stage_totals().items():
+        print(
+            f";;   {name:<28} x{entry['count']:<4}"
+            f" {entry['seconds'] * 1e3:9.3f} ms"
+        )
+    print(";; metrics")
+    for line in metrics.report().splitlines():
+        print(";; " + line)
+    for label, gen in extensions:
+        stages = gen.cache_stats()["stages"]
+        print(f";; stages[{label}]")
+        for name, entry in stages.items():
+            print(
+                f";;   {name:<28} x{entry['count']:<4}"
+                f" {entry['seconds'] * 1e3:9.3f} ms"
+            )
+    if args.out:
+        with open(args.out, "w") as fh:
+            tracer.write_chrome_trace(fh)
+        print(f";; wrote Chrome trace to {args.out}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.rtcg import GeneratingExtension
+    from repro.vm.profile import VMProfile
+
+    targets = _runnable_targets(args)
+    results = []
+    for label, program, sig, goal, statics, dynamics in targets:
+        gen = GeneratingExtension(program, sig, goal=goal)
+        residual = gen.to_object_code(
+            statics, dif_strategy=args.dif_strategy
+        )
+        profile = VMProfile()
+        value = None
+        for _ in range(args.repeat):
+            value = residual.run_profiled(dynamics, profile)
+        results.append((label, profile, value))
+    if args.json:
+        print(json.dumps(
+            {label: profile.to_json() for label, profile, _ in results},
+            indent=2,
+        ))
+        return 0
+    for label, profile, value in results:
+        print(f";; {label}  (result: {write_value(value)})")
+        for line in profile.report(top=args.top).splitlines():
+            print(";; " + line)
+        print()
     return 0
 
 
@@ -721,6 +880,64 @@ def main(argv: list[str] | None = None) -> int:
         help="emit reports as a JSON object",
     )
     p.set_defaults(fn=cmd_analyze)
+
+    def observability(p: argparse.ArgumentParser) -> None:
+        p.add_argument("file", nargs="?", help="Scheme source file")
+        p.add_argument("--goal", help="goal function name")
+        p.add_argument(
+            "--prelude", action="store_true", help="splice in the prelude"
+        )
+        p.add_argument("--sig", help="binding-time signature, e.g. SD")
+        p.add_argument(
+            "--static", action="append",
+            help="a static argument (Scheme datum); repeatable",
+        )
+        p.add_argument(
+            "--dynamic", action="append",
+            help="a dynamic argument (Scheme datum); repeatable",
+        )
+        p.add_argument(
+            "--dif-strategy", default="duplicate",
+            choices=("duplicate", "join"), dest="dif_strategy",
+        )
+        p.add_argument(
+            "--builtin", choices=("all", "examples", "workloads"),
+            help="trace/profile the bundled example programs and/or the"
+            " §7 benchmark workloads with sample inputs",
+        )
+
+    p = sub.add_parser(
+        "trace",
+        help="trace every pipeline stage; text tree or Chrome trace JSON",
+    )
+    observability(p)
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit Chrome trace-event JSON instead of the text report",
+    )
+    p.add_argument(
+        "-o", "--out", help="also write the Chrome trace JSON to a file"
+    )
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "profile",
+        help="run residual code under the counting VM dispatch loop",
+    )
+    observability(p)
+    p.add_argument(
+        "--repeat", type=int, default=1,
+        help="run the residual program N times (default: 1)",
+    )
+    p.add_argument(
+        "--top", type=int, default=10,
+        help="hot templates to list (default: 10)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the profile as a JSON object",
+    )
+    p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser(
         "stats", help="residual-cache statistics for repeated application"

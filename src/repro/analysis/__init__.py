@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro.obs import traced
 from repro.lang.ast import Program
 
 from repro.analysis.bloat import check_bloat
@@ -47,6 +48,7 @@ __all__ = [
 ]
 
 
+@traced("analysis.safety")
 def analyze_bta(bta) -> AnalysisReport:
     """Run both analyses on an already-computed BTA result."""
     graph = build_callgraph(bta)

@@ -39,6 +39,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator
 
+from repro import obs
 from repro.image.codec import (
     CodecError,
     decode_residual,
@@ -241,31 +242,37 @@ class ImageStore:
         unwritable or the program is not imageable — persistence
         failures never propagate into specialization.
         """
-        if not self.writable:
-            self._count("write_errors")
-            return None
-        try:
-            data = encode_residual(residual)
-        except CodecError:
-            self._count("write_errors")
-            return None
-        digest = hashlib.sha256(data).hexdigest()
-        try:
-            with self._locked():
-                obj = self._object_path(digest)
-                if not obj.exists():
-                    self._atomic_write(obj, data)
-                self._atomic_write(
-                    self.index_dir / key.digest,
-                    (digest + "\n").encode("ascii"),
-                )
-                if self.max_bytes is not None:
-                    self._gc_locked(self.max_bytes)
-        except OSError:
-            self._count("write_errors")
-            return None
-        self._count("writes")
-        return digest
+        with obs.span("image.put", key=key.digest[:12]):
+            if not self.writable:
+                self._count("write_errors")
+                obs.count("image.l2.write_error")
+                return None
+            try:
+                data = encode_residual(residual)
+            except CodecError:
+                self._count("write_errors")
+                obs.count("image.l2.write_error")
+                return None
+            digest = hashlib.sha256(data).hexdigest()
+            try:
+                with self._locked():
+                    obj = self._object_path(digest)
+                    if not obj.exists():
+                        self._atomic_write(obj, data)
+                    self._atomic_write(
+                        self.index_dir / key.digest,
+                        (digest + "\n").encode("ascii"),
+                    )
+                    if self.max_bytes is not None:
+                        self._gc_locked(self.max_bytes)
+            except OSError:
+                self._count("write_errors")
+                obs.count("image.l2.write_error")
+                return None
+            self._count("writes")
+            obs.count("image.l2.write")
+            obs.observe("image.l2.bytes", len(data))
+            return digest
 
     def get(
         self,
@@ -279,28 +286,37 @@ class ImageStore:
         corrupt or unverifiable image behaves like a miss, and the
         caller regenerates.
         """
-        try:
-            ref = (self.index_dir / key.digest).read_text().strip()
-        except OSError:
-            self._count("misses")
-            return None
-        try:
-            residual = self.load(
-                ref, verify=verify, check_fingerprint=check_fingerprint
-            )
-        except FileNotFoundError:
-            self._count("misses")
-            return None
-        except CodecError:
-            self._count("read_errors")
-            self._count("misses")
-            return None
-        except VerificationError:
-            self._count("verify_failures")
-            self._count("misses")
-            return None
-        self._count("hits")
-        return residual
+        with obs.span("image.probe", key=key.digest[:12]) as sp:
+            try:
+                ref = (self.index_dir / key.digest).read_text().strip()
+            except OSError:
+                self._count("misses")
+                obs.count("image.l2.miss")
+                return None
+            try:
+                residual = self.load(
+                    ref, verify=verify, check_fingerprint=check_fingerprint
+                )
+            except FileNotFoundError:
+                self._count("misses")
+                obs.count("image.l2.miss")
+                return None
+            except CodecError:
+                self._count("read_errors")
+                self._count("misses")
+                obs.count("image.l2.read_error")
+                obs.count("image.l2.miss")
+                return None
+            except VerificationError:
+                self._count("verify_failures")
+                self._count("misses")
+                obs.count("image.l2.verify_failure")
+                obs.count("image.l2.miss")
+                return None
+            self._count("hits")
+            obs.count("image.l2.hit")
+            sp.set(hit=True)
+            return residual
 
     def load(
         self,
@@ -313,17 +329,21 @@ class ImageStore:
         staleness, content-address mismatch), or
         :class:`~repro.vm.verify.VerificationError` when the loaded
         object code does not verify."""
-        path = self._object_path(digest)
-        data = path.read_bytes()
-        actual = hashlib.sha256(data).hexdigest()
-        if actual != digest:
-            raise CodecError(
-                f"content-address mismatch: object named {digest[:12]}..."
-                f" hashes to {actual[:12]}..."
+        with obs.span("image.load", digest=digest[:12]):
+            path = self._object_path(digest)
+            data = path.read_bytes()
+            actual = hashlib.sha256(data).hexdigest()
+            if actual != digest:
+                raise CodecError(
+                    f"content-address mismatch: object named {digest[:12]}..."
+                    f" hashes to {actual[:12]}..."
+                )
+            residual = decode_residual(
+                data, check_fingerprint=check_fingerprint
             )
-        residual = decode_residual(data, check_fingerprint=check_fingerprint)
-        if verify:
-            self._verify(residual)
+            if verify:
+                with obs.span("image.verify_on_load"):
+                    self._verify(residual)
         residual.stats["image_digest"] = digest
         try:
             os.utime(path)  # LRU recency for gc()

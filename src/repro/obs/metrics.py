@@ -1,0 +1,126 @@
+"""The metrics registry: counters and histograms for pipeline events.
+
+Spans (:mod:`repro.obs.trace`) answer *where did the time go*; metrics
+answer *how often did things happen and how were they distributed* —
+cache hits vs misses, single-flight waits, image-store probes, verifier
+runs, residual sizes.  A :class:`MetricsRegistry` holds named
+:class:`Counter` and :class:`Histogram` instruments, created on first
+use, all guarded by one lock (every instrumented event is far coarser
+than a VM instruction, so contention is irrelevant next to the work the
+event represents).
+
+Like tracing, metrics are installed explicitly; the module-level default
+in :mod:`repro.obs` drops every event on the floor for the price of a
+global load and a ``None`` test.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+
+class Histogram:
+    """A streaming summary of observed values (count/sum/min/max).
+
+    Full percentile sketches are overkill here — the interesting
+    distributions (generation times, residual sizes) have a handful of
+    modes that min/mean/max already separate; the raw per-event values
+    live in the trace when more is needed.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def summary(self) -> dict[str, float]:
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "mean": 0.0, "max": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "mean": self.total / self.count,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """Named counters and histograms, created on first use."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def count(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            counter = self._counters.get(name)
+            if counter is None:
+                counter = self._counters[name] = Counter(name)
+            counter.value += n
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            hist = self._histograms.get(name)
+            if hist is None:
+                hist = self._histograms[name] = Histogram(name)
+            hist.observe(value)
+
+    def counter_value(self, name: str) -> int:
+        with self._lock:
+            counter = self._counters.get(name)
+            return counter.value if counter is not None else 0
+
+    def snapshot(self) -> dict[str, Any]:
+        """All instruments as plain data, sorted by name."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: c.value
+                    for name, c in sorted(self._counters.items())
+                },
+                "histograms": {
+                    name: h.summary()
+                    for name, h in sorted(self._histograms.items())
+                },
+            }
+
+    def report(self) -> str:
+        """A plain-text listing of every instrument."""
+        snap = self.snapshot()
+        lines = []
+        for name, value in snap["counters"].items():
+            lines.append(f"  {name:<40} {value}")
+        for name, summary in snap["histograms"].items():
+            lines.append(
+                f"  {name:<40} count={summary['count']}"
+                f" mean={summary['mean']:.6g} min={summary['min']:.6g}"
+                f" max={summary['max']:.6g}"
+            )
+        if not lines:
+            return "(no metrics recorded)"
+        return "\n".join(lines)

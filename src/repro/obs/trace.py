@@ -1,0 +1,195 @@
+"""The span tracer: where the pipeline's time goes, stage by stage.
+
+The paper's evaluation (Figs. 6-8) is entirely about *per-stage* cost —
+generation vs compilation, source vs object code, load vs generate — so
+the reproduction needs the same visibility at run time, not only inside
+the benchmark suite.  A :class:`Tracer` records **spans**: named,
+nestable intervals with wall-clock start, duration, per-span attributes,
+and the thread they ran on.  Spans nest through a thread-local stack, so
+concurrent generating extensions trace cleanly into separate subtrees.
+
+Two export formats:
+
+* :meth:`Tracer.chrome_trace` — the Chrome trace-event JSON format
+  (``chrome://tracing`` / Perfetto): complete events (``"ph": "X"``)
+  with microsecond timestamps, one row per thread.
+* :meth:`Tracer.report` — a plain-text tree, one line per span, indented
+  by nesting, with durations in milliseconds; plus
+  :meth:`Tracer.stage_totals` for aggregate per-stage numbers.
+
+Tracing is *installed*, never assumed: the module-level default in
+:mod:`repro.obs` is a no-op whose cost is one global load and a dead
+``with`` block (see the disabled-overhead benchmark), so instrumented
+code paths pay almost nothing when nobody is looking.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, TextIO
+
+
+@dataclass(slots=True)
+class SpanRecord:
+    """One finished span."""
+
+    name: str
+    start: float                 # seconds since the tracer's epoch
+    duration: float              # seconds
+    tid: int                     # thread id
+    depth: int                   # nesting depth on its thread
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+
+class _LiveSpan:
+    """A span in progress; a context manager handed out by the tracer."""
+
+    __slots__ = ("tracer", "name", "attrs", "_t0", "_depth")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: dict[str, Any]):
+        self.tracer = tracer
+        self.name = name
+        self.attrs = attrs
+
+    def __enter__(self) -> "_LiveSpan":
+        stack = self.tracer._stack()
+        self._depth = len(stack)
+        stack.append(self)
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        t1 = time.perf_counter()
+        self.tracer._stack().pop()
+        self.tracer._record(self, t1 - self._t0, self._depth)
+
+    def set(self, **attrs: Any) -> None:
+        """Attach attributes to the span while it is running."""
+        self.attrs.update(attrs)
+
+
+class Tracer:
+    """Collects spans; thread-safe; export as Chrome JSON or a text tree."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._epoch = time.perf_counter()
+        self.records: list[SpanRecord] = []
+
+    # -- recording ----------------------------------------------------------
+
+    def span(self, name: str, **attrs: Any) -> _LiveSpan:
+        """Open a span; use as ``with tracer.span("pe.bta"): ...``."""
+        return _LiveSpan(self, name, attrs)
+
+    def _stack(self) -> list[_LiveSpan]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _record(self, live: _LiveSpan, duration: float, depth: int) -> None:
+        start = time.perf_counter() - self._epoch - duration
+        record = SpanRecord(
+            name=live.name,
+            start=start,
+            duration=duration,
+            tid=threading.get_ident(),
+            depth=depth,
+            attrs=live.attrs,
+        )
+        with self._lock:
+            self.records.append(record)
+
+    # -- export -------------------------------------------------------------
+
+    def chrome_trace(self) -> dict[str, Any]:
+        """The trace as a Chrome trace-event JSON object.
+
+        Complete events (``ph: "X"``) with microsecond ``ts``/``dur``,
+        loadable in ``chrome://tracing`` or https://ui.perfetto.dev.
+        """
+        pid = os.getpid()
+        with self._lock:
+            records = list(self.records)
+        events = [
+            {
+                "name": r.name,
+                "ph": "X",
+                "ts": round(r.start * 1e6, 3),
+                "dur": round(r.duration * 1e6, 3),
+                "pid": pid,
+                "tid": r.tid,
+                "cat": r.name.split(".", 1)[0],
+                "args": {k: _jsonable(v) for k, v in r.attrs.items()},
+            }
+            for r in records
+        ]
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, fh: TextIO) -> None:
+        json.dump(self.chrome_trace(), fh, indent=2)
+
+    def report(self) -> str:
+        """A plain-text tree of every span, with durations and attrs.
+
+        Spans are grouped per thread and ordered by start time; the
+        recorded nesting depth (from the per-thread ``with`` stack)
+        indents children under the stage that ran them.
+        """
+        with self._lock:
+            records = sorted(self.records, key=lambda r: (r.tid, r.start))
+        lines = []
+        last_tid = None
+        for r in records:
+            if r.tid != last_tid:
+                last_tid = r.tid
+                lines.append(f"thread {r.tid}:")
+            attrs = ""
+            if r.attrs:
+                attrs = "  " + " ".join(
+                    f"{k}={_short(v)}" for k, v in sorted(r.attrs.items())
+                )
+            lines.append(
+                f"  {'  ' * r.depth}{r.name:<28}"
+                f" {r.duration * 1e3:9.3f} ms{attrs}"
+            )
+        if not lines:
+            return "(no spans recorded)"
+        return "\n".join(lines)
+
+    def stage_totals(self) -> dict[str, dict[str, float]]:
+        """Aggregate time per span name: ``{name: {count, seconds}}``.
+
+        Nested stages are counted in full (a ``vm.assemble`` span inside
+        ``pe.specialize`` contributes to both), which is what per-stage
+        cost accounting wants.
+        """
+        totals: dict[str, dict[str, float]] = {}
+        with self._lock:
+            records = list(self.records)
+        for r in records:
+            entry = totals.setdefault(r.name, {"count": 0, "seconds": 0.0})
+            entry["count"] += 1
+            entry["seconds"] += r.duration
+        return dict(sorted(totals.items()))
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self.records)
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return value
+    return str(value)
+
+
+def _short(value: Any) -> str:
+    text = str(value)
+    return text if len(text) <= 40 else text[:37] + "..."

@@ -80,6 +80,14 @@ class ResidualProgram:
     ``goal`` names the entry point; ``goal_params`` are its (dynamic)
     parameters.  The concrete artifact depends on the backend:
     :attr:`program` for source, :attr:`machine` for object code.
+
+    **Immutability contract**: once a ``ResidualProgram`` enters the
+    residual cache it is shared across callers and threads and must
+    never be mutated — in particular, ``stats`` on a cached object
+    holds only *production* facts (``disk_hit``, image digest,
+    residual size), written before publication.  Per-call facts
+    (``cache_hit``, cache snapshots) belong on the shallow views
+    minted by :meth:`with_call_stats`.
     """
 
     goal: Symbol
@@ -95,6 +103,43 @@ class ResidualProgram:
         from repro.interp import run_program
 
         return run_program(self.program, list(args))
+
+    def run_profiled(self, args: Sequence[Any], profile: Any) -> Any:
+        """Run under the VM's counting dispatch loop (object code only).
+
+        ``profile`` is a :class:`repro.vm.profile.VMProfile`; it
+        accumulates per-opcode and per-template execution counts.  Raises
+        for source-backed residual programs, which have no templates to
+        profile.
+        """
+        if self.machine is None:
+            raise ValueError(
+                f"{self.goal}: run_profiled requires an object-code"
+                " residual program (this one is source-backed)"
+            )
+        from repro.vm.profile import call_named_profiled
+
+        return call_named_profiled(self.machine, self.goal, list(args), profile)
+
+    def with_call_stats(self, **per_call: Any) -> "ResidualProgram":
+        """A shallow per-call view with extra stats entries.
+
+        Cached residual programs are **immutable after insertion** —
+        concurrent callers share them, so per-call facts (``cache_hit``,
+        cache snapshots) must never be written into the shared ``stats``
+        dict.  This returns a new :class:`ResidualProgram` sharing the
+        artifact (``program``/``machine``) but owning a fresh merged
+        ``stats`` dict, so each caller sees its own metadata.
+        """
+        merged = dict(self.stats)
+        merged.update(per_call)
+        return ResidualProgram(
+            goal=self.goal,
+            goal_params=self.goal_params,
+            program=self.program,
+            machine=self.machine,
+            stats=merged,
+        )
 
     def fingerprint(self) -> str:
         """A stable textual identity for the residual artifact.

@@ -43,6 +43,7 @@ from typing import Any, Iterable
 
 import networkx as nx
 
+from repro.obs import traced
 from repro.lang.alpha import alpha_rename
 from repro.lang.assignment import eliminate_assignments
 from repro.lang.ast import (
@@ -594,6 +595,7 @@ class _Analysis:
         )
 
 
+@traced("pe.bta")
 def analyze(
     program: Program,
     signature: str | tuple[BindingTime, ...],

@@ -46,6 +46,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Iterable
 
+from repro.obs import traced
 from repro.lang.ast import (
     App,
     Const,
@@ -113,6 +114,7 @@ class AnnotationViolation(BindingTimeError):
         super().__init__(f"annotation is not congruent: {summary}")
 
 
+@traced("pe.congruence")
 def check_annotated(annotated: AnnotatedProgram) -> list[CongruenceViolation]:
     """Lint ``annotated``; return every violation instead of raising."""
     out: list[CongruenceViolation] = []

@@ -42,6 +42,7 @@ from repro.lang.ast import (
 from repro.lang.gensym import Gensym
 from repro.lang.prims import PRIMITIVES, PrimSpec
 from repro.interp import PrimProcedure
+from repro.obs import traced
 from repro.pe.annprog import AnnDef, AnnotatedProgram, BindingTime
 from repro.pe.backend import Backend, ResidualProgram, SourceBackend
 from repro.pe.errors import BindingTimeError, BudgetExceeded, SpecializationError
@@ -235,9 +236,13 @@ class CompiledGeneratingExtension:
                     max_residual_size,
                 ),
             )
-            result.stats["cache_hit"] = hit
-            result.stats["cache"] = self.cache.stats()
-            return result
+            # The cached residual program is shared by every caller that
+            # hits this key; per-call facts go on a shallow view, never
+            # into the shared stats dict (same contract as
+            # GeneratingExtension._generate).
+            return result.with_call_stats(
+                cache_hit=hit, cache=self.cache.stats()
+            )
         return self._generate(
             static_args,
             backend,
@@ -247,6 +252,7 @@ class CompiledGeneratingExtension:
             max_residual_size,
         )
 
+    @traced("pe.cogen.generate")
     def _generate(
         self,
         static_args: Sequence[Any],
@@ -616,6 +622,7 @@ def _freeze(value: Any, cache: FreezeCache) -> Any:
     return cache.freeze(value)
 
 
+@traced("pe.cogen.compile")
 def compile_generating_extension(
     annotated: AnnotatedProgram, cache_size: int = 128
 ) -> CompiledGeneratingExtension:

@@ -30,6 +30,8 @@ import time
 from collections import OrderedDict
 from typing import Any, Callable, Hashable
 
+from repro import obs
+
 
 class _Flight:
     """One in-progress generation, awaited by late-arriving threads."""
@@ -72,7 +74,9 @@ class ResidualCache:
             if entry is not None:
                 self._entries.move_to_end(key)
                 self._hits += 1
-            return entry
+        if entry is not None:
+            obs.count("cache.l1.hit")
+        return entry
 
     def get_or_generate(
         self, key: Hashable, produce: Callable[[], Any]
@@ -92,6 +96,7 @@ class ResidualCache:
             if entry is not None:
                 self._entries.move_to_end(key)
                 self._hits += 1
+                obs.count("cache.l1.hit")
                 return entry, True
             flight = self._inflight.get(key)
             if flight is None:
@@ -101,12 +106,21 @@ class ResidualCache:
             else:
                 leader = False
         if not leader:
-            flight.done.wait()
+            # Single-flight failure discipline: the leader pops the key
+            # from ``_inflight`` *before* setting ``done``, so a waiter
+            # that observes the error re-raises it, while a thread
+            # arriving after the pop starts a fresh flight — the key is
+            # never poisoned and nobody can deadlock on a dead flight.
+            obs.count("cache.l1.wait")
+            with obs.span("cache.l1.wait"):
+                flight.done.wait()
             if flight.error is not None:
                 raise flight.error
             with self._lock:
                 self._hits += 1
+            obs.count("cache.l1.hit")
             return flight.result, True
+        obs.count("cache.l1.miss")
         try:
             t0 = time.perf_counter()
             result = produce()

@@ -44,6 +44,7 @@ from repro.lang.ast import (
     Prim,
     Var,
 )
+from repro import obs
 from repro.lang.gensym import Gensym
 from repro.lang.prims import PRIMITIVES, PrimSpec
 from repro.pe.annprog import AnnDef, AnnotatedProgram, BindingTime
@@ -143,6 +144,20 @@ class Specializer:
         in parameter order.
         """
         goal = self.annotated.goal_def()
+        with obs.span(
+            "pe.specialize",
+            goal=str(goal.name),
+            backend=getattr(self.backend, "kind", "?"),
+        ) as sp:
+            result = self._run(static_args, goal)
+            sp.set(
+                residual_defs=self.residual_def_count,
+                residual_size=self.residual_size,
+            )
+            obs.observe("pe.residual_size", self.residual_size)
+            return result
+
+    def _run(self, static_args: Sequence[Any], goal: AnnDef) -> ResidualProgram:
         statics = list(static_args)
         if len(statics) != len(goal.static_params()):
             raise SpecializationError(

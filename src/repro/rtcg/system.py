@@ -4,9 +4,12 @@ from __future__ import annotations
 
 import hashlib
 import threading
+import time
 from typing import Any, Iterable, Sequence
 
 from typing import TYPE_CHECKING
+
+from repro import obs
 
 from repro.compiler.fusion import ObjectCodeBackend
 from repro.lang.ast import Program
@@ -112,16 +115,25 @@ class GeneratingExtension:
             program = parse_program(program, goal=goal)
         self.program = program
         self.signature = signature
+        # Per-extension stage timing, always on (one perf_counter pair per
+        # pipeline stage — noise next to the stages themselves); exposed
+        # through ``cache_stats()["stages"]`` and the fig6/fig8 tables.
+        self._stage_lock = threading.Lock()
+        self._stage_seconds: dict[str, dict[str, float]] = {}
+        t0 = time.perf_counter()
         self.bta: BTAResult = bta_analyze(
             program, signature, memo_hints=memo_hints, unfold_hints=unfold_hints
         )
+        self._add_stage("bta", time.perf_counter() - t0)
         if check_congruence:
             # Re-check the analysis output with the independent linter: a
             # BTA bug surfaces here as an AnnotationViolation instead of a
             # mis-specialized program.
             from repro.pe.check import verify_annotated
 
+            t0 = time.perf_counter()
             verify_annotated(self.bta.annotated)
+            self._add_stage("congruence", time.perf_counter() - t0)
         # Specialization-safety analysis, up front: findings either warn
         # (the runtime budgets below still backstop actual divergence) or
         # forbid (refuse the program before any specialization runs).
@@ -130,7 +142,9 @@ class GeneratingExtension:
             from repro.analysis import analyze_bta
             from repro.analysis.report import UnsafeProgramError
 
+            t0 = time.perf_counter()
             self.analysis_report = analyze_bta(self.bta)
+            self._add_stage("safety_analysis", time.perf_counter() - t0)
             if not self.analysis_report.safe:
                 if analyze == "forbid":
                     raise UnsafeProgramError(self.analysis_report)
@@ -188,6 +202,16 @@ class GeneratingExtension:
         except UnpersistableKey:
             return None
 
+    def _add_stage(self, name: str, seconds: float) -> None:
+        with self._stage_lock:
+            entry = self._stage_seconds.get(name)
+            if entry is None:
+                entry = self._stage_seconds[name] = {
+                    "count": 0, "seconds": 0.0
+                }
+            entry["count"] += 1
+            entry["seconds"] += seconds
+
     def _generate(
         self,
         static_args: Sequence[Any],
@@ -205,22 +229,32 @@ class GeneratingExtension:
             persist_key = self._persist_key(frozen, dif_strategy, kind)
 
         def produce() -> ResidualProgram:
+            # Everything written to ``residual.stats`` here happens
+            # *before* the program is published (cached / returned), so it
+            # is a production fact shared by all future callers — never a
+            # per-call fact.  Per-call facts go through the
+            # ``with_call_stats`` view below; once a ResidualProgram is in
+            # the cache it is immutable (see DESIGN.md §5f).
+            #
             # L2: the on-disk image store.  A hit deserializes (and, by
             # default, re-verifies) persisted object code instead of
             # specializing; verification is skipped only when the
             # application itself opted out (kind "object-unverified").
             if store is not None and persist_key is not None:
+                t0 = time.perf_counter()
                 loaded = store.get(
                     persist_key,
                     verify=self.verify_on_load
                     and kind != "object-unverified",
                 )
+                self._add_stage("store_probe", time.perf_counter() - t0)
                 if loaded is not None:
                     loaded.stats["disk_hit"] = True
                     return loaded
             # A private name supply per run keeps residual naming
             # deterministic (byte-identical regeneration) and isolates
             # concurrent runs from each other.
+            t0 = time.perf_counter()
             try:
                 residual = Specializer(
                     self.bta.annotated,
@@ -234,22 +268,34 @@ class GeneratingExtension:
                 with self._spec_lock:
                     self._budget_trips += 1
                 raise
+            finally:
+                self._add_stage("specialize", time.perf_counter() - t0)
             with self._spec_lock:
                 self._specializer_runs += 1
             if store is not None and persist_key is not None:
+                t0 = time.perf_counter()
                 digest = store.put(persist_key, residual)
+                self._add_stage("store_put", time.perf_counter() - t0)
                 if digest is not None:  # write-through succeeded
                     residual.stats["image_digest"] = digest
                     residual.stats["image_key"] = persist_key.digest
             return residual
 
-        if not use_cache or self.cache.maxsize <= 0:
-            return produce()
-        key = (frozen, dif_strategy, kind)
-        result, hit = self.cache.get_or_generate(key, produce)
-        result.stats["cache_hit"] = hit
-        result.stats["cache"] = self.cache.stats()
-        return result
+        with obs.span(
+            "rtcg.generate", kind=kind, goal=str(self.program.goal)
+        ) as sp:
+            if not use_cache or self.cache.maxsize <= 0:
+                return produce()
+            key = (frozen, dif_strategy, kind)
+            result, hit = self.cache.get_or_generate(key, produce)
+            sp.set(cache_hit=hit)
+            # The cached object is shared between every caller that hits
+            # this key (and every waiter of its single flight), so the
+            # per-call facts must not be written into it: return a shallow
+            # view owning its own stats dict instead.
+            return result.with_call_stats(
+                cache_hit=hit, cache=self.cache.stats()
+            )
 
     def to_source(
         self,
@@ -307,6 +353,11 @@ class GeneratingExtension:
         with self._spec_lock:
             stats["specializer_runs"] = self._specializer_runs
             stats["budget_trips"] = self._budget_trips
+        with self._stage_lock:
+            stats["stages"] = {
+                name: dict(entry)
+                for name, entry in sorted(self._stage_seconds.items())
+            }
         if self.store is not None:
             stats["store"] = self.store.stats()
         return stats

@@ -25,6 +25,7 @@ from repro.vm.fragments import (
 )
 from repro.vm.instructions import Op
 from repro.vm.machine import Machine, VmClosure, VMError
+from repro.vm.profile import VMProfile, call_named_profiled, call_profiled
 from repro.vm.template import Template
 from repro.vm.verify import (
     VerificationError,
@@ -51,9 +52,12 @@ __all__ = [
     "Violation",
     "ViolationKind",
     "VMError",
+    "VMProfile",
     "VmClosure",
     "assemble",
     "attach_label",
+    "call_named_profiled",
+    "call_profiled",
     "check_template",
     "disassemble",
     "instruction",

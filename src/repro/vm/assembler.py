@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Any
 
+from repro.obs import traced
 from repro.vm.fragments import Fragment, Label, Lit, iter_instructions
 from repro.vm.instructions import BRANCH_OPS
 from repro.vm.template import Template
@@ -19,6 +20,7 @@ class AssemblyError(ValueError):
     """A malformed fragment: unresolved labels, bad operands."""
 
 
+@traced("vm.assemble")
 def assemble(
     fragment: Fragment,
     arity: int,

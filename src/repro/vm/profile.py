@@ -1,0 +1,251 @@
+"""Opt-in VM execution profiling: a *counting* variant of the dispatch.
+
+The normal dispatch loop (:meth:`repro.vm.machine.Machine._run`) is the
+hot path of everything this system produces, so it carries no
+instrumentation at all — not even a disabled-check per instruction.
+Profiling instead runs the program through :func:`call_profiled`, a
+separate dispatch loop that is semantically identical (the VM edge-case
+suite runs through both loops) but counts as it goes:
+
+* per-opcode execution counts,
+* per-template invocation counts and instruction counts,
+* total instructions retired,
+
+collected into a :class:`VMProfile`, whose :meth:`~VMProfile.hot_templates`
+ranking answers the question Figs. 6-8 keep circling: *which* residual
+code the time goes into.  The trust model is explicit: profiled numbers
+come from a different loop than production runs, so they are execution
+*counts* (exact, deterministic), not wall-clock attributions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.lang.prims import PrimSpec
+from repro.sexp.datum import Symbol
+from repro.vm.instructions import Op
+from repro.vm.machine import Machine, VmClosure, VMError
+from repro.vm.template import Template
+
+
+class VMProfile:
+    """Execution counts collected by the profiled dispatch loop."""
+
+    def __init__(self) -> None:
+        self.opcode_counts: dict[Op, int] = {}
+        self.template_invocations: dict[str, int] = {}
+        self.template_instructions: dict[str, int] = {}
+        self.calls = 0                 # top-level call_profiled entries
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(self.opcode_counts.values())
+
+    def hot_templates(self, n: int = 10) -> list[tuple[str, int, int]]:
+        """``(name, instructions, invocations)`` ranked by instructions."""
+        ranked = sorted(
+            self.template_instructions.items(),
+            key=lambda item: (-item[1], item[0]),
+        )
+        return [
+            (name, instrs, self.template_invocations.get(name, 0))
+            for name, instrs in ranked[:n]
+        ]
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "calls": self.calls,
+            "total_instructions": self.total_instructions,
+            "opcodes": {
+                op.name: count
+                for op, count in sorted(
+                    self.opcode_counts.items(), key=lambda item: -item[1]
+                )
+            },
+            "templates": {
+                name: {
+                    "instructions": instrs,
+                    "invocations": self.template_invocations.get(name, 0),
+                }
+                for name, instrs, _ in self.hot_templates(n=len(
+                    self.template_instructions
+                ) or 1)
+            },
+        }
+
+    def report(self, top: int = 10) -> str:
+        """A plain-text profile: opcode mix plus the hot-template ranking."""
+        lines = [
+            f"calls: {self.calls}"
+            f"   instructions retired: {self.total_instructions}",
+            "",
+            "opcode counts:",
+        ]
+        total = self.total_instructions or 1
+        for op, count in sorted(
+            self.opcode_counts.items(), key=lambda item: -item[1]
+        ):
+            lines.append(
+                f"  {op.name:<16} {count:10d}  {100.0 * count / total:5.1f}%"
+            )
+        lines.append("")
+        lines.append(f"hot templates (top {top} by instructions):")
+        for name, instrs, invocations in self.hot_templates(top):
+            lines.append(
+                f"  {name:<28} {instrs:10d} instr"
+                f"  {invocations:8d} invocation(s)"
+            )
+        if not self.template_instructions:
+            lines.append("  (none)")
+        return "\n".join(lines)
+
+
+def call_profiled(
+    machine: Machine, fn: Any, args: Sequence[Any], profile: VMProfile
+) -> Any:
+    """Apply a VM procedure under the counting dispatch loop.
+
+    Mirrors :meth:`Machine.call`; results and raised errors are
+    identical to the unprofiled loop.
+    """
+    if not isinstance(fn, VmClosure):
+        raise VMError(f"attempt to apply non-procedure {fn!r}")
+    template = fn.template
+    if template.arity != len(args):
+        raise VMError(
+            f"{template.name}: expected {template.arity} arguments,"
+            f" got {len(args)}"
+        )
+    locals_ = list(args) + [None] * (template.nlocals - template.arity)
+    profile.calls += 1
+    return _run_counting(machine, template, locals_, fn.env, profile)
+
+
+def call_named_profiled(
+    machine: Machine, name: Symbol, args: Sequence[Any], profile: VMProfile
+) -> Any:
+    return call_profiled(machine, machine.procedure(name), args, profile)
+
+
+def _run_counting(
+    machine: Machine,
+    template: Template,
+    locals_: list,
+    closed: tuple,
+    profile: VMProfile,
+) -> Any:
+    """The counting twin of :meth:`Machine._run`.
+
+    Every semantic step matches the production loop instruction for
+    instruction; the only additions are the count updates.  Keep the two
+    loops in sync — ``tests/test_vm_edge_cases.py`` runs its dispatch
+    edge cases through both.
+    """
+    opcode_counts = profile.opcode_counts
+    tmpl_instrs = profile.template_instructions
+    tmpl_invocations = profile.template_invocations
+
+    code = template.code
+    literals = template.literals
+    tname = template.name
+    tmpl_invocations[tname] = tmpl_invocations.get(tname, 0) + 1
+    pc = 0
+    val: Any = None
+    stack: list = []
+    conts: list[tuple] = []
+    globals_ = machine.globals
+
+    while True:
+        instr = code[pc]
+        op = instr[0]
+        pc += 1
+        opcode_counts[op] = opcode_counts.get(op, 0) + 1
+        tmpl_instrs[tname] = tmpl_instrs.get(tname, 0) + 1
+
+        if op == Op.CONST:
+            val = literals[instr[1]]
+        elif op == Op.LOCAL:
+            val = locals_[instr[1]]
+        elif op == Op.CLOSED:
+            val = closed[instr[1]]
+        elif op == Op.GLOBAL:
+            name = literals[instr[1]]
+            try:
+                val = globals_[name]
+            except KeyError:
+                raise VMError(f"undefined global: {name}") from None
+        elif op == Op.PUSH:
+            stack.append(val)
+        elif op == Op.SETLOC:
+            locals_[instr[1]] = val
+        elif op == Op.PRIM:
+            spec = literals[instr[1]]
+            n = instr[2]
+            if n:
+                args = stack[-n:]
+                del stack[-n:]
+            else:
+                args = []
+            val = spec.apply(args)
+        elif op == Op.MAKE_CLOSURE:
+            sub = literals[instr[1]]
+            n = instr[2]
+            if n:
+                env = tuple(stack[-n:])
+                del stack[-n:]
+            else:
+                env = ()
+            val = VmClosure(sub, env)
+        elif op == Op.JUMP:
+            pc = instr[1]
+        elif op == Op.JUMP_IF_FALSE:
+            if val is False:
+                pc = instr[1]
+        elif op == Op.TAIL_CALL or op == Op.CALL:
+            n = instr[1]
+            if n:
+                args = stack[-n:]
+                del stack[-n:]
+            else:
+                args = []
+            fn = stack.pop()
+            if isinstance(fn, VmClosure):
+                if op == Op.CALL:
+                    conts.append((template, pc, locals_, stack, closed))
+                template = fn.template
+                if template.arity != n:
+                    raise VMError(
+                        f"{template.name}: expected {template.arity}"
+                        f" arguments, got {n}"
+                    )
+                code = template.code
+                literals = template.literals
+                tname = template.name
+                tmpl_invocations[tname] = tmpl_invocations.get(tname, 0) + 1
+                locals_ = args + [None] * (template.nlocals - n)
+                closed = fn.env
+                stack = []
+                pc = 0
+            elif isinstance(fn, PrimSpec):
+                val = fn.apply(args)
+                if op == Op.TAIL_CALL:
+                    if not conts:
+                        return val
+                    template, pc, locals_, stack, closed = conts.pop()
+                    code = template.code
+                    literals = template.literals
+                    tname = template.name
+            else:
+                raise VMError(f"attempt to apply non-procedure {fn!r}")
+        elif op == Op.RETURN:
+            if not conts:
+                return val
+            template, pc, locals_, stack, closed = conts.pop()
+            code = template.code
+            literals = template.literals
+            tname = template.name
+        else:  # pragma: no cover - unreachable with a sound assembler
+            raise VMError(f"unknown opcode {op!r}")

@@ -21,6 +21,22 @@ class Template:
     nlocals: int                  # total local slots (params + temporaries)
     name: str = "anonymous"       # for diagnostics
 
+    def __post_init__(self) -> None:
+        # Parameters live in the first ``arity`` local slots, so a frame
+        # with fewer slots than parameters cannot exist: the VM would
+        # compute ``[None] * (nlocals - arity)`` with a negative count
+        # and silently build a short locals frame.  ValueError rather
+        # than VMError — the VM module imports this one.
+        if self.nlocals < self.arity:
+            raise ValueError(
+                f"template {self.name}: nlocals {self.nlocals}"
+                f" < arity {self.arity}"
+            )
+        if self.arity < 0:
+            raise ValueError(
+                f"template {self.name}: negative arity {self.arity}"
+            )
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"#<template {self.name}/{self.arity}"

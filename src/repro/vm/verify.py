@@ -41,6 +41,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Iterable
 
+from repro.obs import traced
 from repro.lang.prims import PrimSpec
 from repro.runtime.errors import SchemeError
 from repro.sexp.datum import Symbol
@@ -160,6 +161,7 @@ _OPERAND_COUNTS = {
 _COUNTED_OPS = frozenset({Op.PRIM, Op.MAKE_CLOSURE})
 
 
+@traced("vm.verify")
 def check_template(
     template: Template,
     closed_count: int = 0,

@@ -216,6 +216,153 @@ class TestStatsJson:
         assert payload["cache"]["specializer_runs"] == 1
 
 
+class TestTraceCommand:
+    def test_text_report_covers_every_stage(self, power_file, capsys):
+        assert main(
+            [
+                "trace", power_file, "--goal", "power", "--sig", "DS",
+                "--static", "5", "--dynamic", "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        for stage in (
+            "pe.bta",
+            "pe.congruence",
+            "analysis.safety",
+            "rtcg.generate",
+            "pe.specialize",
+            "vm.assemble",
+            "vm.verify",
+            "vm.run",
+        ):
+            assert stage in out, f"report is missing stage {stage}"
+        assert "stage totals" in out
+        assert "cache.l1.miss" in out
+
+    def test_json_is_valid_chrome_trace(self, power_file, capsys):
+        import json
+
+        assert main(
+            [
+                "trace", power_file, "--goal", "power", "--sig", "DS",
+                "--static", "3", "--dynamic", "2", "--json",
+            ]
+        ) == 0
+        trace = json.loads(capsys.readouterr().out)
+        assert trace["displayTimeUnit"] == "ms"
+        events = trace["traceEvents"]
+        assert events
+        names = {ev["name"] for ev in events}
+        assert {"pe.bta", "pe.specialize", "vm.assemble"} <= names
+        for ev in events:
+            assert ev["ph"] == "X"
+            assert ev["ts"] >= 0 and ev["dur"] >= 0
+            assert isinstance(ev["tid"], int)
+
+    def test_out_writes_trace_file(self, power_file, tmp_path, capsys):
+        import json
+
+        out_file = tmp_path / "trace.json"
+        assert main(
+            [
+                "trace", power_file, "--goal", "power", "--sig", "DS",
+                "--static", "2", "--dynamic", "2", "--json",
+                "-o", str(out_file),
+            ]
+        ) == 0
+        capsys.readouterr()
+        trace = json.loads(out_file.read_text())
+        assert trace["traceEvents"]
+
+    def test_builtin_examples(self, capsys):
+        assert main(["trace", "--builtin", "examples"]) == 0
+        out = capsys.readouterr().out
+        assert "example:quickstart.py:POWER" in out
+        assert "example:rtcg_matcher.py:MATCHER" in out
+
+    def test_requires_file_or_builtin(self, capsys):
+        assert main(["trace"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_file_requires_sig(self, power_file, capsys):
+        assert main(["trace", power_file, "--goal", "power"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "--sig" in err
+
+
+class TestProfileCommand:
+    def test_text_report_ranks_hot_templates(self, power_file, capsys):
+        assert main(
+            [
+                "profile", power_file, "--goal", "power", "--sig", "DS",
+                "--static", "5", "--dynamic", "2",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "result: 32" in out
+        assert "opcode counts" in out
+        assert "hot templates" in out
+        assert "PRIM" in out
+
+    def test_json_profile_shape(self, power_file, capsys):
+        import json
+
+        assert main(
+            [
+                "profile", power_file, "--goal", "power", "--sig", "DS",
+                "--static", "4", "--dynamic", "3", "--repeat", "2",
+                "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (profile,) = payload.values()
+        assert profile["calls"] == 2
+        assert profile["total_instructions"] > 0
+        assert profile["opcodes"]["PRIM"] > 0
+        for entry in profile["templates"].values():
+            assert entry["invocations"] >= 1
+            assert entry["instructions"] >= 1
+
+    def test_repeat_scales_counts_linearly(self, power_file, capsys):
+        import json
+
+        counts = []
+        for repeat in ("1", "3"):
+            assert main(
+                [
+                    "profile", power_file, "--goal", "power",
+                    "--sig", "DS", "--static", "5", "--dynamic", "2",
+                    "--repeat", repeat, "--json",
+                ]
+            ) == 0
+            (profile,) = json.loads(capsys.readouterr().out).values()
+            counts.append(profile["total_instructions"])
+        assert counts[1] == 3 * counts[0]
+
+    def test_builtin_workloads(self, capsys):
+        assert main(["profile", "--builtin", "workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "workload:mixwell" in out
+        assert "workload:lazy" in out
+
+    def test_requires_file_or_builtin(self, capsys):
+        assert main(["profile"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_missing_file_is_an_error_not_a_traceback(self, capsys):
+        assert main(
+            ["profile", "/nonexistent/nope.scm", "--sig", "D"]
+        ) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+
 class TestImageCommands:
     def test_export_ls_load_gc_cycle(self, power_file, tmp_path, capsys):
         store = str(tmp_path / "store")

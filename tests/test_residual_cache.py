@@ -17,6 +17,7 @@ from concurrent.futures import ThreadPoolExecutor
 import pytest
 
 from repro.pe import SourceBackend, Specializer
+from repro.pe.errors import BudgetExceeded
 from repro.pe.limits import RECURSION_FLOOR, ensure_recursion_limit
 from repro.pe.residual_cache import ResidualCache
 from repro.rtcg import GeneratingExtension, run_specialized
@@ -104,9 +105,12 @@ class TestExtensionCache:
         gen = GeneratingExtension(POWER, "DS", goal="power")
         r1 = gen.to_object_code([5])
         r2 = gen.to_object_code([5])
-        assert r2 is r1
+        # Each call gets its own stats view; the machine (the actual
+        # residual code) is the shared cached artifact.
+        assert r2.machine is r1.machine
         assert r1.run([2]) == 32
         assert r2.stats["cache_hit"]
+        assert not r1.stats["cache_hit"]
         stats = gen.cache_stats()
         assert (stats["hits"], stats["misses"]) == (1, 1)
 
@@ -115,12 +119,14 @@ class TestExtensionCache:
         # on the floor, so ge(args) and ge.to_object_code(args, ...)
         # could disagree.  Now they are literally the same cached object.
         gen = GeneratingExtension(POWER, "DS", goal="power")
-        assert gen([5]) is gen.to_object_code([5])
-        assert gen([5], dif_strategy="join") is gen.to_object_code(
-            [5], dif_strategy="join"
+        assert gen([5]).machine is gen.to_object_code([5]).machine
+        assert (
+            gen([5], dif_strategy="join").machine
+            is gen.to_object_code([5], dif_strategy="join").machine
         )
-        assert gen([5], verify=False) is gen.to_object_code(
-            [5], verify=False
+        assert (
+            gen([5], verify=False).machine
+            is gen.to_object_code([5], verify=False).machine
         )
 
     def test_keys_separate_per_dif_strategy(self):
@@ -171,7 +177,7 @@ class TestExtensionCache:
 
     def test_source_hits_too(self):
         gen = GeneratingExtension(POWER, "DS", goal="power")
-        assert gen.to_source([4]) is gen.to_source([4])
+        assert gen.to_source([4]).program is gen.to_source([4]).program
 
     def test_cache_clear(self):
         gen = GeneratingExtension(POWER, "DS", goal="power")
@@ -186,9 +192,10 @@ class TestExtensionCache:
         ext = gen.compiled()
         r1 = ext.generate([5], use_cache=True)
         r2 = ext.generate([5], use_cache=True)
-        assert r2 is r1
+        assert r2.program is r1.program
+        assert r2.stats["cache_hit"] and not r1.stats["cache_hit"]
         # Default stays uncached (benchmarks measure real generation).
-        assert ext.generate([5]) is not r1
+        assert ext.generate([5]).program is not r1.program
 
 
 class TestForwarding:
@@ -307,3 +314,140 @@ class TestRecursionLimitFloor:
             assert sys.getrecursionlimit() >= RECURSION_FLOOR
         finally:
             ensure_recursion_limit()
+
+
+# -- per-call stats views (shared-state race regression) ------------------------
+
+
+class TestPerCallStatsViews:
+    def test_two_threads_each_see_their_own_cache_hit(self):
+        # Regression: _generate used to write ``cache_hit`` into the
+        # *shared cached* ResidualProgram's stats dict, so a later hit
+        # clobbered the producer's False before it could be read.  With
+        # per-call views, each caller's view is private.
+        gen = GeneratingExtension(POWER, "DS", goal="power")
+        barrier = threading.Barrier(2)
+        produced = threading.Event()
+
+        def producer():
+            barrier.wait(5)
+            rp = gen.to_object_code([9])
+            produced.set()
+            time.sleep(0.05)  # give the hitter time to race a mutation
+            return rp.stats["cache_hit"]
+
+        def hitter():
+            barrier.wait(5)
+            assert produced.wait(5)
+            return gen.to_object_code([9]).stats["cache_hit"]
+
+        with ThreadPoolExecutor(max_workers=2) as ex:
+            f1 = ex.submit(producer)
+            f2 = ex.submit(hitter)
+            assert f1.result(10) is False, (
+                "the generating caller must see cache_hit=False even"
+                " after a concurrent hit on the same key"
+            )
+            assert f2.result(10) is True
+
+    def test_cached_object_stats_stay_clean(self):
+        # The object stored in the cache must never accumulate per-call
+        # keys; only production facts (residual_defs, image_*...) live
+        # there.
+        gen = GeneratingExtension(POWER, "DS", goal="power")
+        gen.to_object_code([5])
+        gen.to_object_code([5])
+        key = next(iter(gen.cache._entries))
+        cached = gen.cache._entries[key]
+        assert "cache_hit" not in cached.stats
+        assert "cache" not in cached.stats
+
+    def test_view_shares_machine_and_production_stats(self):
+        gen = GeneratingExtension(POWER, "DS", goal="power")
+        r1 = gen.to_object_code([5])
+        r2 = gen.to_object_code([5])
+        assert r1.machine is r2.machine
+        assert r1.stats["residual_defs"] == r2.stats["residual_defs"]
+        # Mutating one view must not leak into the other.
+        r1.stats["marker"] = "mine"
+        assert "marker" not in r2.stats
+
+
+# -- single-flight failure discipline -------------------------------------------
+
+
+class TestSingleFlightFailure:
+    def test_waiters_see_the_leaders_error_and_key_is_not_poisoned(self):
+        cache = ResidualCache(8)
+        started = threading.Event()
+        release = threading.Event()
+
+        def failing_produce():
+            started.set()
+            release.wait(5)
+            raise ValueError("boom")
+
+        with ThreadPoolExecutor(max_workers=3) as ex:
+            leader = ex.submit(cache.get_or_generate, "k", failing_produce)
+            assert started.wait(5)
+            w1 = ex.submit(cache.get_or_generate, "k", failing_produce)
+            w2 = ex.submit(cache.get_or_generate, "k", failing_produce)
+            time.sleep(0.05)  # let the waiters block on the flight
+            release.set()
+            for fut in (leader, w1, w2):
+                with pytest.raises(ValueError, match="boom"):
+                    fut.result(5)
+        # The key must not be wedged: the next attempt generates fresh.
+        result, hit = cache.get_or_generate("k", lambda: "recovered")
+        assert (result, hit) == ("recovered", False)
+
+    def test_eight_thread_stress_with_flaky_producer(self):
+        # Alongside the existing 8-thread suites: a producer that fails
+        # on its first few runs must neither deadlock any waiter nor
+        # poison the key; once it succeeds, everyone hits.
+        cache = ResidualCache(8)
+        failures_left = [3]
+        lock = threading.Lock()
+
+        def flaky_produce():
+            with lock:
+                if failures_left[0] > 0:
+                    failures_left[0] -= 1
+                    fail = True
+                else:
+                    fail = False
+            time.sleep(0.005)
+            if fail:
+                raise ValueError("transient")
+            return "steady"
+
+        def task(_):
+            try:
+                return cache.get_or_generate("k", flaky_produce)[0]
+            except ValueError:
+                return "failed"
+
+        with ThreadPoolExecutor(max_workers=8) as ex:
+            results = list(ex.map(task, range(64)))
+        assert "steady" in results, "the producer never recovered"
+        # Every call either got the value or saw a transient error —
+        # nothing hung (ex.map returning at all proves no deadlock).
+        assert set(results) <= {"steady", "failed"}
+        result, hit = cache.get_or_generate("k", flaky_produce)
+        assert (result, hit) == ("steady", True)
+
+    def test_budget_exceeded_propagates_and_extension_recovers(self):
+        # The real failure mode from the issue: BudgetExceeded from the
+        # specializer inside the single flight.
+        gen = GeneratingExtension(
+            POWER, "DS", goal="power", max_residual_size=1
+        )
+        with ThreadPoolExecutor(max_workers=4) as ex:
+            futures = [
+                ex.submit(gen.to_object_code, [4]) for _ in range(8)
+            ]
+            for fut in futures:
+                with pytest.raises(BudgetExceeded):
+                    fut.result(10)
+        assert gen.cache_stats()["budget_trips"] >= 1
+        assert len(gen.cache) == 0, "failed generations must not be cached"

@@ -196,11 +196,19 @@ class TestMutationsRejected:
         )
 
     def test_bad_arity_exceeds_locals(self):
-        t = _tmpl([(Op.RETURN,)], arity=2, nlocals=1)
+        # Template.__post_init__ now rejects nlocals < arity outright, so
+        # forge the mutant behind the constructor's back — the verifier
+        # must still catch it (defense in depth against corrupt images).
+        t = _tmpl([(Op.RETURN,)], arity=0, nlocals=1)
+        object.__setattr__(t, "arity", 2)
         report = check_template(t)
         assert any(
             v.kind is ViolationKind.BAD_ARITY for v in report.errors
         )
+
+    def test_constructor_rejects_short_locals_frame(self):
+        with pytest.raises(ValueError, match="nlocals 1 < arity 2"):
+            _tmpl([(Op.RETURN,)], arity=2, nlocals=1)
 
     def test_corrupt_nested_template_found_through_closure(self):
         inner = _tmpl([(Op.CLOSED, 5), (Op.RETURN,)], name="inner")
