@@ -81,10 +81,11 @@ def fig6(store_root=None) -> None:
     print()
     print(
         "| workload | source code | object code | ratio |"
-        " object+verify | verify overhead | disk hit (warm start) |"
+        " object+verify | verify overhead | object+optimize | opt share |"
+        " disk hit (warm start) |"
         " paper src (s) | paper obj (s) | paper ratio |"
     )
-    print("|---|---|---|---|---|---|---|---|---|---|")
+    print("|---|---|---|---|---|---|---|---|---|---|---|---|")
     paper = {"MIXWELL": (3.072, 3.770), "LAZY": (1.832, 3.451)}
     store_root = Path(store_root or tempfile.mkdtemp(prefix="repro-fig6-"))
     stage_rows = []
@@ -92,16 +93,34 @@ def fig6(store_root=None) -> None:
         gen = make_generating_extension(interp, sig)
         ext = gen.compiled()
         t_src = best_of(lambda: ext.generate([static], backend=SourceBackend()))
+        # Bare and verified columns pin ``optimize=False`` so each column
+        # isolates one cost; the optimizer gets its own column.
         t_obj = best_of(
             lambda: ext.generate(
-                [static], backend=ObjectCodeBackend(verify=False)
+                [static], backend=ObjectCodeBackend(verify=False, optimize=False)
             )
         )
         t_ver = best_of(
             lambda: ext.generate(
-                [static], backend=ObjectCodeBackend(verify=True)
+                [static], backend=ObjectCodeBackend(verify=True, optimize=False)
             )
         )
+        # The optimizer's own wall-clock, as a share of the full
+        # verified+optimized generation (content memo cleared so every
+        # template is optimized from scratch each round).
+        from repro.vm import opt as vm_opt
+
+        t_opt_total = None
+        opt_share = 0.0
+        for _ in range(ROUNDS):
+            vm_opt.clear_memo()
+            backend = ObjectCodeBackend(verify=True, optimize=True)
+            t0 = time.perf_counter()
+            ext.generate([static], backend=backend)
+            elapsed = time.perf_counter() - t0
+            if t_opt_total is None or elapsed < t_opt_total:
+                t_opt_total = elapsed
+                opt_share = backend.optimize_seconds / elapsed
         # Warm start: the store is populated, L1 dropped each round, so
         # every application decodes + re-verifies the persisted image.
         store_gen = make_generating_extension(
@@ -119,7 +138,8 @@ def fig6(store_root=None) -> None:
         print(
             f"| {name} | {ms(t_src)} | {ms(t_obj)} |"
             f" {t_obj / t_src:.2f}x | {ms(t_ver)} |"
-            f" {t_ver / t_obj:.2f}x | {ms(t_disk)} |"
+            f" {t_ver / t_obj:.2f}x | {ms(t_opt_total)} |"
+            f" {opt_share:.1%} | {ms(t_disk)} |"
             f" {p_src} | {p_obj} |"
             f" {p_obj / p_src:.2f}x |"
         )
@@ -139,8 +159,9 @@ def fig7() -> None:
     print(
         "| workload | load residual source (print+read+compile) |"
         " src gen + load | direct object gen | direct/two-pass |"
+        " residual instrs | optimized instrs | reduction |"
     )
-    print("|---|---|---|---|---|")
+    print("|---|---|---|---|---|---|---|---|")
     for name, interp, sig, static in workloads():
         ext = make_generating_extension(interp, sig).compiled()
         rp = ext.generate([static], backend=SourceBackend())
@@ -155,9 +176,23 @@ def fig7() -> None:
         t_obj = best_of(
             lambda: ext.generate([static], backend=ObjectCodeBackend())
         )
+        # Static payoff of the bytecode optimizer on the residual
+        # templates (recursive over nested closure templates).
+        plain = ObjectCodeBackend(verify=True, optimize=False)
+        ext.generate([static], backend=plain)
+        optimized = ObjectCodeBackend(verify=True, optimize=True)
+        ext.generate([static], backend=optimized)
+        n_before = sum(
+            t.instruction_count() for t in plain.templates.values()
+        )
+        n_after = sum(
+            t.instruction_count() for t in optimized.templates.values()
+        )
         print(
             f"| {name} | {ms(t_load)} | {ms(t_src + t_load)} |"
             f" {ms(t_obj)} | {t_obj / (t_src + t_load):.2f} |"
+            f" {n_before} | {n_after} |"
+            f" {(n_before - n_after) / n_before:.1%} |"
         )
     print()
 

@@ -21,11 +21,21 @@ annotate FILE --sig SIG [--goal NAME]
     Print the binding-time-annotated program (ACS notation: ``lift``,
     ``if^D``, ``lambda^D``, ``memo-call``).
 
-disasm FILE [--compiler auto|stock] [--verify] [--json]
+disasm FILE [--compiler auto|stock] [--verify] [--cfg] [--json]
     Compile FILE and print the disassembly of every template, with block
     labels at jump targets.  ``--verify`` appends each template's
-    verification report; ``--json`` emits templates and findings as a
+    verification report; ``--cfg`` appends the basic-block boundaries
+    and successor edges; ``--json`` emits templates and findings as a
     JSON object.
+
+opt [FILE [--sig SIG]] [--builtin all|examples|workloads] [--json]
+    Run the dataflow bytecode optimizer (:mod:`repro.vm.opt`) over the
+    templates of FILE — residual templates when ``--sig`` is given,
+    the straight compilation otherwise — and/or the built-in targets.
+    Prints before/after disassembly and per-pass instruction-count
+    deltas; every optimized template is re-verified and differentially
+    executed against its unoptimized twin on both dispatch loops.  Exit
+    status 1 on any violation or semantic mismatch (the CI self-gate).
 
 lint FILE [--sig SIG] [--goal NAME] [--json]
     Static checks: bytecode-verify every template FILE compiles to (both
@@ -63,9 +73,10 @@ image load IMAGE [--store DIR] [--dynamic DATUM ...] [--disassemble]
 image ls --store DIR [--json]
     List the store's images: key, content digest, size, goal.
 
-image gc --store DIR [--max-bytes N] [--json]
+image gc --store DIR [--max-bytes N] [--dry-run] [--json]
     Evict least-recently-used images beyond the size budget and drop
-    dangling index references.
+    dangling index references.  ``--dry-run`` reports which objects
+    would be evicted and the bytes reclaimed, deleting nothing.
 
 trace [FILE --sig SIG] [--builtin all|examples|workloads] [--json] [-o OUT]
     Run the full pipeline (build extension, generate object code, run
@@ -192,6 +203,40 @@ def cmd_annotate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cfg_entry(template) -> list[dict]:
+    """JSON-ready basic-block summary of a template's CFG."""
+    from repro.vm.cfg import build_cfg
+
+    from repro.vm.instructions import Op
+
+    cfg = build_cfg(template)
+    preds = cfg.predecessors()
+    return [
+        {
+            "start": block.start,
+            "end": block.end,
+            "terminator": Op(block.terminator[0]).name,
+            "succs": list(block.succs),
+            "preds": list(preds[block.start]),
+            "falls_off": block.falls_off,
+        }
+        for block in (cfg.blocks[leader] for leader in cfg.order)
+    ]
+
+
+def _print_cfg(name: str, blocks: list[dict]) -> None:
+    print(f";; cfg {name}: {len(blocks)} block(s)")
+    for b in blocks:
+        succs = ", ".join(f"L{s}" for s in b["succs"]) or "(exit)"
+        if b["falls_off"]:
+            succs += "  !falls-off-end"
+        preds = ", ".join(f"L{p}" for p in b["preds"]) or "(entry)"
+        print(
+            f";;   L{b['start']:<4} [{b['start']}..{b['end']})"
+            f"  {b['terminator']:<14} -> {succs:<18} <- {preds}"
+        )
+
+
 def cmd_disasm(args: argparse.Namespace) -> int:
     import json
 
@@ -208,6 +253,8 @@ def cmd_disasm(args: argparse.Namespace) -> int:
             "template": str(name),
             "disassembly": disassemble(template),
         }
+        if args.cfg:
+            entry["cfg"] = _cfg_entry(template)
         if args.verify:
             report = check_template(template)
             entry["verified"] = report.ok
@@ -220,6 +267,8 @@ def cmd_disasm(args: argparse.Namespace) -> int:
         return status
     for entry in entries:
         print(entry["disassembly"])
+        if args.cfg:
+            _print_cfg(entry["template"], entry["cfg"])
         if args.verify:
             if entry["violations"]:
                 print("\n".join(entry["violations"]))
@@ -227,6 +276,215 @@ def cmd_disasm(args: argparse.Namespace) -> int:
                 print(f";; {entry['template']}: verified ok")
         print()
     return status
+
+
+def _opt_template_entries(named_templates) -> tuple[list[dict], bool]:
+    """Optimize each ``(name, template)``; entries plus an ok flag.
+
+    Each optimized template is independently re-verified (translation
+    validation, beyond the optimizer's own ``validate=True`` check) —
+    ``ok`` drops on any violation or on a
+    :class:`~repro.vm.opt.TranslationValidationError`.
+    """
+    from repro.vm.opt import TranslationValidationError, optimize
+    from repro.vm.verify import check_template
+
+    entries: list[dict] = []
+    ok = True
+    for name, template in named_templates:
+        try:
+            result = optimize(template)
+        except TranslationValidationError as exc:
+            entries.append({
+                "template": str(name),
+                "error": str(exc),
+                "verified": False,
+            })
+            ok = False
+            continue
+        report = check_template(result.template)
+        entry = {
+            "template": str(name),
+            "before_instructions": result.before_instructions,
+            "after_instructions": result.after_instructions,
+            "removed": result.removed,
+            "passes": dict(sorted(result.passes.items())),
+            "skipped": result.skipped,
+            "verified": not report.violations,
+            "violations": [str(v) for v in report.violations],
+            "before_disassembly": disassemble(template),
+            "after_disassembly": disassemble(result.template),
+        }
+        if report.violations:
+            ok = False
+        entries.append(entry)
+    return entries, ok
+
+
+def _opt_differential(run_pairs) -> tuple[dict, bool]:
+    """Differentially execute unoptimized/optimized twins.
+
+    ``run_pairs`` maps a dispatch-loop label to a ``(run_base,
+    run_optimized)`` pair of thunks; results are compared by their
+    written (external) representation.
+    """
+    runs: dict = {}
+    agree = True
+    for label, (run_base, run_opt) in run_pairs.items():
+        base_repr = write_value(run_base())
+        opt_repr = write_value(run_opt())
+        same = base_repr == opt_repr
+        runs[label] = {
+            "unoptimized": base_repr,
+            "optimized": opt_repr,
+            "agree": same,
+        }
+        agree = agree and same
+    return runs, agree
+
+
+def cmd_opt(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.vm.machine import VmClosure
+    from repro.vm.profile import VMProfile, call_named_profiled
+
+    # Specialization targets (--builtin, and FILE when --sig is given)
+    # optimize *residual* templates; a FILE without --sig optimizes the
+    # straight compilation of the program itself.
+    plain_file = args.file if args.file and not args.sig else None
+    if plain_file:
+        args.file = None
+    spec_targets = (
+        _runnable_targets(args) if args.builtin or args.file else []
+    )
+    if plain_file:
+        args.file = plain_file
+    if not spec_targets and not plain_file:
+        print(
+            "error: opt needs FILE [--sig SIG], and/or --builtin",
+            file=sys.stderr,
+        )
+        return 2
+
+    target_reports: dict[str, dict] = {}
+    ok = True
+
+    if plain_file:
+        program = _load(plain_file, args.goal, args.prelude)
+        base = compile_program(program, compiler="auto", optimize=False)
+        optd = compile_program(program, compiler="auto", optimize=True)
+        entries, t_ok = _opt_template_entries(sorted(
+            base.templates.items(), key=lambda item: item[0].name
+        ))
+        report: dict = {"templates": entries}
+        if args.dynamic:
+            dynamics = _data(args.dynamic)
+            runs, agree = _opt_differential({
+                "machine": (
+                    lambda: base.run(dynamics),
+                    lambda: optd.run(dynamics),
+                ),
+                "profiled": (
+                    lambda: call_named_profiled(
+                        base.machine(), base.goal, dynamics, VMProfile()
+                    ),
+                    lambda: call_named_profiled(
+                        optd.machine(), optd.goal, dynamics, VMProfile()
+                    ),
+                ),
+            })
+            report["differential"] = runs
+            t_ok = t_ok and agree
+        target_reports[plain_file] = report
+        ok = ok and t_ok
+
+    if spec_targets:
+        from repro.rtcg import GeneratingExtension
+
+        for label, program, sig, goal, statics, dynamics in spec_targets:
+            gen = GeneratingExtension(program, sig, goal=goal)
+            base = gen.to_object_code(
+                statics, dif_strategy=args.dif_strategy, optimize=False
+            )
+            optd = gen.to_object_code(
+                statics, dif_strategy=args.dif_strategy, optimize=True
+            )
+            named = sorted(
+                (
+                    (name, value.template)
+                    for name, value in base.machine.globals.items()
+                    if isinstance(value, VmClosure)
+                ),
+                key=lambda item: item[0].name,
+            )
+            entries, t_ok = _opt_template_entries(named)
+            runs, agree = _opt_differential({
+                "machine": (
+                    lambda b=base: b.run(dynamics),
+                    lambda o=optd: o.run(dynamics),
+                ),
+                "profiled": (
+                    lambda b=base: b.run_profiled(dynamics, VMProfile()),
+                    lambda o=optd: o.run_profiled(dynamics, VMProfile()),
+                ),
+            })
+            target_reports[label] = {
+                "templates": entries,
+                "differential": runs,
+            }
+            ok = ok and t_ok and agree
+
+    for report in target_reports.values():
+        entries = [e for e in report["templates"] if "error" not in e]
+        before = sum(e["before_instructions"] for e in entries)
+        after = sum(e["after_instructions"] for e in entries)
+        report["before_instructions"] = before
+        report["after_instructions"] = after
+        report["reduction"] = (before - after) / before if before else 0.0
+
+    if args.json:
+        print(json.dumps(
+            {"targets": target_reports, "ok": ok}, indent=2
+        ))
+        return 0 if ok else 1
+
+    for label, report in target_reports.items():
+        print(f";; {label}")
+        for e in report["templates"]:
+            if "error" in e:
+                print(f";; template {e['template']}: {e['error']}")
+                continue
+            passes = ", ".join(
+                f"{name} x{n}" for name, n in e["passes"].items()
+            ) or "none"
+            print(
+                f";; template {e['template']}:"
+                f" {e['before_instructions']} ->"
+                f" {e['after_instructions']} instruction(s)"
+                f"  (passes: {passes})"
+            )
+            print(e["before_disassembly"])
+            print(";;   -- optimized to -->")
+            print(e["after_disassembly"])
+            if e["violations"]:
+                print("\n".join(";; " + v for v in e["violations"]))
+        if "differential" in report:
+            for loop, run in report["differential"].items():
+                verdict = (
+                    f"ok (result: {run['optimized']})" if run["agree"]
+                    else f"MISMATCH ({run['unoptimized']}"
+                    f" vs {run['optimized']})"
+                )
+                print(f";; differential [{loop}]: {verdict}")
+        print(
+            f";; total: {report['before_instructions']} ->"
+            f" {report['after_instructions']} instruction(s)"
+            f"  (-{report['reduction'] * 100:.1f}%)"
+        )
+        print()
+    print(";; opt: ok" if ok else ";; opt: FAILED")
+    return 0 if ok else 1
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -742,9 +1000,20 @@ def cmd_image_ls(args: argparse.Namespace) -> int:
 def cmd_image_gc(args: argparse.Namespace) -> int:
     import json
 
-    report = _image_store(args).gc(max_bytes=args.max_bytes)
+    report = _image_store(args).gc(
+        max_bytes=args.max_bytes, dry_run=args.dry_run
+    )
     if args.json:
         print(json.dumps(report, indent=2))
+    elif args.dry_run:
+        for doomed in report["would_remove"]:
+            print(f"would remove {doomed['object']}  {doomed['bytes']} B")
+        print(
+            f"would remove {report['removed_objects']} object(s),"
+            f" {report['removed_refs']} dangling ref(s);"
+            f" {report['bytes_before']} ->"
+            f" {report['bytes_after']} bytes (dry run)"
+        )
     else:
         print(
             f"removed {report['removed_objects']} object(s),"
@@ -834,6 +1103,11 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument(
         "--verify", action="store_true",
         help="append each template's verification report",
+    )
+    p.add_argument(
+        "--cfg", action="store_true",
+        help="append each template's basic-block boundaries and"
+        " successor edges",
     )
     p.add_argument(
         "--json", action="store_true",
@@ -940,6 +1214,17 @@ def main(argv: list[str] | None = None) -> int:
     p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser(
+        "opt",
+        help="dataflow-optimize templates, with translation validation",
+    )
+    observability(p)
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit per-template deltas and differential results as JSON",
+    )
+    p.set_defaults(fn=cmd_opt)
+
+    p = sub.add_parser(
         "stats", help="residual-cache statistics for repeated application"
     )
     common(p, needs_sig=True)
@@ -1011,6 +1296,10 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument(
         "--max-bytes", type=int, default=None, dest="max_bytes",
         help="object-payload budget (default: drop dangling refs only)",
+    )
+    p.add_argument(
+        "--dry-run", action="store_true", dest="dry_run",
+        help="report what would be evicted without deleting anything",
     )
     p.add_argument("--json", action="store_true")
     p.set_defaults(fn=cmd_image_gc)

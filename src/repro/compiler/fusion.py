@@ -29,6 +29,7 @@ immediate execution by the run-time system" (§8.2).
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Sequence
 
 from repro.compiler.annotated import (
@@ -51,6 +52,7 @@ from repro.pe.errors import SpecializationError
 from repro.sexp.datum import Symbol
 from repro.vm.assembler import assemble
 from repro.vm.machine import Machine, VmClosure
+from repro.vm.opt import optimize_template
 from repro.vm.template import Template
 from repro.vm.verify import verify_template
 
@@ -98,17 +100,28 @@ class ObjectCodeBackend:
 
     ``verify`` runs the bytecode verifier over every template as it is
     relocated — RTCG-generated code is checked at generation time, before
-    it is installed in the machine.
+    it is installed in the machine.  ``optimize`` then runs the dataflow
+    bytecode optimizer (:mod:`repro.vm.opt`) over each verified template,
+    so cached and persisted residual code is the optimized code; the
+    optimizer's own translation validation re-verifies its output.
     """
 
-    def __init__(self, verify: bool = True) -> None:
+    def __init__(self, verify: bool = True, optimize: bool = True) -> None:
         self.machine = Machine()
         self.templates: dict[Symbol, Template] = {}
         self.verify = verify
-        # Cache-key discriminator: verified and unverified generation
-        # must not share residual-cache entries (a hit skips generation,
-        # and with it generation-time verification).
-        self.kind = "object" if verify else "object-unverified"
+        self.optimize = optimize
+        # Wall-clock spent in the optimizer, for the caller's stage
+        # accounting (it runs inside the specialize span otherwise).
+        self.optimize_seconds = 0.0
+        # Cache-key discriminator: verified/unverified and optimized/
+        # unoptimized generation must not share residual-cache entries
+        # (a hit skips generation, and with it generation-time
+        # verification and optimization).
+        kind = "object" if verify else "object-unverified"
+        if not optimize:
+            kind += "-noopt"
+        self.kind = kind
 
     # -- trivial constructors ----------------------------------------------------
 
@@ -198,6 +211,12 @@ class ObjectCodeBackend:
         )
         if self.verify:
             verify_template(template)
+        if self.optimize:
+            t0 = time.perf_counter()
+            template = optimize_template(
+                template, assume_verified=self.verify
+            )
+            self.optimize_seconds += time.perf_counter() - t0
         self.templates[name] = template
         self.machine.define(name, VmClosure(template, ()))
 

@@ -11,6 +11,7 @@ from repro.compiler.stock import StockCompiler
 from repro.lang.ast import Program
 from repro.sexp.datum import Symbol
 from repro.vm.machine import Machine, VmClosure
+from repro.vm.opt import optimize_template
 from repro.vm.template import Template
 from repro.vm.verify import verify_template
 
@@ -41,6 +42,7 @@ def compile_program(
     program: Program,
     compiler: str = "auto",
     verify: bool = True,
+    optimize: bool = True,
 ) -> CompiledProgram:
     """Compile every definition of ``program``.
 
@@ -53,7 +55,9 @@ def compile_program(
 
     ``verify`` runs the bytecode verifier over every emitted template
     (:mod:`repro.vm.verify`); a compiler bug is rejected here instead of
-    crashing the machine mid-run.
+    crashing the machine mid-run.  ``optimize`` runs the dataflow
+    bytecode optimizer (:mod:`repro.vm.opt`) over each template; the
+    optimizer re-verifies its own output (translation validation).
     """
     program_names = frozenset(d.name for d in program.defs)
     from repro.lang.assignment import eliminate_assignments, has_assignments
@@ -83,4 +87,9 @@ def compile_program(
     if verify:
         for template in templates.values():
             verify_template(template)
+    if optimize:
+        templates = {
+            name: optimize_template(template, assume_verified=verify)
+            for name, template in templates.items()
+        }
     return CompiledProgram(templates, program.goal)

@@ -387,14 +387,24 @@ class ImageStore:
             entries.append(entry)
         return entries
 
-    def gc(self, max_bytes: int | None = None) -> dict[str, int]:
+    def gc(
+        self, max_bytes: int | None = None, dry_run: bool = False
+    ) -> dict[str, Any]:
         """Evict least-recently-used objects beyond the size budget and
-        drop index refs to missing objects."""
+        drop index refs to missing objects.
+
+        ``dry_run`` reports what *would* be evicted — the object digests
+        and the bytes that would be reclaimed — without unlinking
+        anything (the report gains ``would_remove`` and keeps
+        ``bytes_after`` at the projected post-gc size).
+        """
         limit = self.max_bytes if max_bytes is None else max_bytes
         with self._locked():
-            return self._gc_locked(limit)
+            return self._gc_locked(limit, dry_run=dry_run)
 
-    def _gc_locked(self, limit: int | None) -> dict[str, int]:
+    def _gc_locked(
+        self, limit: int | None, dry_run: bool = False
+    ) -> dict[str, Any]:
         objects: list[tuple[float, int, Path]] = []
         total = 0
         try:
@@ -411,18 +421,30 @@ class ImageStore:
                     objects.append((st.st_mtime, st.st_size, obj))
                     total += st.st_size
         except OSError:
-            return {"removed_objects": 0, "removed_refs": 0,
-                    "bytes_before": 0, "bytes_after": 0}
+            report: dict[str, Any] = {
+                "removed_objects": 0, "removed_refs": 0,
+                "bytes_before": 0, "bytes_after": 0,
+            }
+            if dry_run:
+                report["dry_run"] = True
+                report["would_remove"] = []
+            return report
         before = total
         removed = 0
+        doomed: set[str] = set()
+        would_remove: list[dict[str, Any]] = []
         if limit is not None and total > limit:
             for _, size, obj in sorted(objects):  # oldest first
                 if total <= limit:
                     break
-                try:
-                    obj.unlink()
-                except OSError:
-                    continue
+                if dry_run:
+                    would_remove.append({"object": obj.name, "bytes": size})
+                else:
+                    try:
+                        obj.unlink()
+                    except OSError:
+                        continue
+                doomed.add(obj.name)
                 total -= size
                 removed += 1
         removed_refs = 0
@@ -434,7 +456,14 @@ class ImageStore:
                     digest = ref.read_text().strip()
                 except OSError:
                     continue
-                if not self._object_path(digest).exists():
+                dangling = (
+                    digest in doomed
+                    or not self._object_path(digest).exists()
+                )
+                if dangling:
+                    if dry_run:
+                        removed_refs += 1
+                        continue
                     try:
                         ref.unlink()
                         removed_refs += 1
@@ -442,14 +471,18 @@ class ImageStore:
                         pass
         except OSError:
             pass
-        if removed:
+        if removed and not dry_run:
             self._count("gc_removed_objects", removed)
-        return {
+        report = {
             "removed_objects": removed,
             "removed_refs": removed_refs,
             "bytes_before": before,
             "bytes_after": total,
         }
+        if dry_run:
+            report["dry_run"] = True
+            report["would_remove"] = would_remove
+        return report
 
     def stats(self) -> dict[str, Any]:
         """A snapshot of the store counters."""

@@ -245,7 +245,7 @@ class GeneratingExtension:
                 loaded = store.get(
                     persist_key,
                     verify=self.verify_on_load
-                    and kind != "object-unverified",
+                    and not kind.startswith("object-unverified"),
                 )
                 self._add_stage("store_probe", time.perf_counter() - t0)
                 if loaded is not None:
@@ -255,10 +255,11 @@ class GeneratingExtension:
             # deterministic (byte-identical regeneration) and isolates
             # concurrent runs from each other.
             t0 = time.perf_counter()
+            backend = make_backend()
             try:
                 residual = Specializer(
                     self.bta.annotated,
-                    make_backend(),
+                    backend,
                     dif_strategy=dif_strategy,
                     name_gensym=Gensym("f"),
                     max_unfold_depth=self.max_unfold_depth,
@@ -269,7 +270,14 @@ class GeneratingExtension:
                     self._budget_trips += 1
                 raise
             finally:
-                self._add_stage("specialize", time.perf_counter() - t0)
+                # The bytecode optimizer runs inside backend.define, so
+                # its wall-clock is carved out of the specialize stage —
+                # stage totals stay exhaustive without double counting.
+                elapsed = time.perf_counter() - t0
+                opt_seconds = getattr(backend, "optimize_seconds", 0.0)
+                if opt_seconds:
+                    self._add_stage("optimize", opt_seconds)
+                self._add_stage("specialize", elapsed - opt_seconds)
             with self._spec_lock:
                 self._specializer_runs += 1
             if store is not None and persist_key is not None:
@@ -314,17 +322,23 @@ class GeneratingExtension:
         dif_strategy: str = "duplicate",
         verify: bool = True,
         use_cache: bool = True,
+        optimize: bool = True,
     ) -> ResidualProgram:
         """Generate residual *object code* directly (the fused system).
 
         ``verify`` bytecode-verifies every generated template at
-        generation time (:mod:`repro.vm.verify`).
+        generation time (:mod:`repro.vm.verify`); ``optimize`` then runs
+        the dataflow bytecode optimizer (:mod:`repro.vm.opt`) over each
+        template, so the L1 cache and the on-disk store hold optimized
+        code.
         """
         kind = "object" if verify else "object-unverified"
+        if not optimize:
+            kind += "-noopt"
         return self._generate(
             static_args,
             dif_strategy,
-            lambda: ObjectCodeBackend(verify=verify),
+            lambda: ObjectCodeBackend(verify=verify, optimize=optimize),
             kind,
             use_cache,
         )
@@ -334,9 +348,11 @@ class GeneratingExtension:
         static_args: Sequence[Any],
         dif_strategy: str = "duplicate",
         verify: bool = True,
+        optimize: bool = True,
     ) -> ResidualProgram:
         return self.to_object_code(
-            static_args, dif_strategy=dif_strategy, verify=verify
+            static_args, dif_strategy=dif_strategy, verify=verify,
+            optimize=optimize,
         )
 
     # -- cache introspection -----------------------------------------------------
@@ -412,12 +428,16 @@ def specialize_to_object_code(
     goal: str | None = None,
     dif_strategy: str = "duplicate",
     verify: bool = True,
+    optimize: bool = True,
     **kwargs: Any,
 ) -> ResidualProgram:
     """One-shot: executable object code for the given static input."""
     return make_generating_extension(
         program, signature, goal=goal, **kwargs
-    ).to_object_code(static_args, dif_strategy=dif_strategy, verify=verify)
+    ).to_object_code(
+        static_args, dif_strategy=dif_strategy, verify=verify,
+        optimize=optimize,
+    )
 
 
 def run_specialized(
@@ -428,11 +448,13 @@ def run_specialized(
     goal: str | None = None,
     dif_strategy: str = "duplicate",
     verify: bool = True,
+    optimize: bool = True,
     **kwargs: Any,
 ) -> Any:
     """Classic RTCG: generate code for the static input and run it."""
     residual = specialize_to_object_code(
         program, signature, static_args, goal=goal,
-        dif_strategy=dif_strategy, verify=verify, **kwargs
+        dif_strategy=dif_strategy, verify=verify, optimize=optimize,
+        **kwargs
     )
     return residual.run(dynamic_args)

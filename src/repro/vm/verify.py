@@ -45,6 +45,7 @@ from repro.obs import traced
 from repro.lang.prims import PrimSpec
 from repro.runtime.errors import SchemeError
 from repro.sexp.datum import Symbol
+from repro.vm.cfg import build_cfg
 from repro.vm.instructions import BRANCH_OPS, Op
 from repro.vm.template import Template
 
@@ -159,6 +160,9 @@ _OPERAND_COUNTS = {
 
 # Opcodes whose second operand is a pop count.
 _COUNTED_OPS = frozenset({Op.PRIM, Op.MAKE_CLOSURE})
+_LITERAL_OPS = frozenset({Op.CONST, Op.GLOBAL}) | _COUNTED_OPS
+_SLOT_OPS = frozenset({Op.LOCAL, Op.SETLOC})
+_CALL_OPS = frozenset({Op.CALL, Op.TAIL_CALL})
 
 
 @traced("vm.verify")
@@ -251,33 +255,42 @@ def _structural_pass(
             err(ViolationKind.BAD_OPCODE, pc, f"not an instruction: {instr!r}")
             cfg_ok = False
             continue
-        try:
-            op = Op(instr[0])
-        except ValueError:
-            err(ViolationKind.BAD_OPCODE, pc, f"unknown opcode {instr[0]!r}")
-            cfg_ok = False
-            continue
-        operands = instr[1:]
+        op = instr[0]
+        if type(op) is not Op:
+            try:
+                op = Op(op)
+            except ValueError:
+                err(
+                    ViolationKind.BAD_OPCODE, pc,
+                    f"unknown opcode {instr[0]!r}",
+                )
+                cfg_ok = False
+                continue
         expected = _OPERAND_COUNTS[op]
-        if len(operands) != expected:
+        if len(instr) - 1 != expected:
             err(
                 ViolationKind.BAD_OPERANDS, pc,
-                f"{op.name} expects {expected} operand(s), has {len(operands)}",
+                f"{op.name} expects {expected} operand(s),"
+                f" has {len(instr) - 1}",
             )
             cfg_ok = False
             continue
-        if any(
-            not isinstance(o, int) or isinstance(o, bool) for o in operands
-        ):
+        operands_ok = True
+        for j in range(1, len(instr)):
+            o = instr[j]
+            if not isinstance(o, int) or isinstance(o, bool):
+                operands_ok = False
+                break
+        if not operands_ok:
             err(
                 ViolationKind.BAD_OPERANDS, pc,
-                f"{op.name} has non-integer operand(s) {operands!r}",
+                f"{op.name} has non-integer operand(s) {instr[1:]!r}",
             )
             cfg_ok = False
             continue
 
-        if op in (Op.CONST, Op.GLOBAL) or op in _COUNTED_OPS:
-            k = operands[0]
+        if op in _LITERAL_OPS:
+            k = instr[1]
             if not 0 <= k < len(literals):
                 err(
                     ViolationKind.BAD_LITERAL_INDEX, pc,
@@ -299,7 +312,7 @@ def _structural_pass(
                         " not a primitive spec",
                     )
                 else:
-                    n = operands[1]
+                    n = instr[2]
                     if n < 0:
                         err(
                             ViolationKind.BAD_OPERANDS, pc,
@@ -320,13 +333,13 @@ def _structural_pass(
                         f"MAKE_CLOSURE literal {k} is {type(lit).__name__},"
                         " not a template",
                     )
-                elif operands[1] < 0:
+                elif instr[2] < 0:
                     err(
                         ViolationKind.BAD_OPERANDS, pc,
-                        f"MAKE_CLOSURE closed count {operands[1]} is negative",
+                        f"MAKE_CLOSURE closed count {instr[2]} is negative",
                     )
-        elif op in (Op.LOCAL, Op.SETLOC):
-            i = operands[0]
+        elif op in _SLOT_OPS:
+            i = instr[1]
             if not 0 <= i < template.nlocals:
                 err(
                     ViolationKind.BAD_LOCAL_SLOT, pc,
@@ -334,7 +347,7 @@ def _structural_pass(
                     f" {template.nlocals} local(s)",
                 )
         elif op is Op.CLOSED:
-            i = operands[0]
+            i = instr[1]
             if not 0 <= i < closed_count:
                 err(
                     ViolationKind.BAD_CLOSED_INDEX, pc,
@@ -342,7 +355,7 @@ def _structural_pass(
                     f" {closed_count} value(s)",
                 )
         elif op in BRANCH_OPS:
-            t = operands[0]
+            t = instr[1]
             if not 0 <= t < len(code):
                 err(
                     ViolationKind.BAD_JUMP_TARGET, pc,
@@ -350,80 +363,95 @@ def _structural_pass(
                     f" {len(code)} instruction(s)",
                 )
                 cfg_ok = False
-        elif op in (Op.CALL, Op.TAIL_CALL):
-            if operands[0] < 0:
+        elif op in _CALL_OPS:
+            if instr[1] < 0:
                 err(
                     ViolationKind.BAD_OPERANDS, pc,
-                    f"{op.name} argument count {operands[0]} is negative",
+                    f"{op.name} argument count {instr[1]} is negative",
                 )
                 cfg_ok = False
     return cfg_ok
 
 
 def _dataflow_pass(template: Template, path: str, out: list[Violation]) -> None:
-    """Fixpoint over basic blocks: operand-stack depth per program point."""
-    code = template.code
-    end = len(code)
+    """Fixpoint over basic blocks: operand-stack depth per program point.
+
+    Runs block-at-a-time over the shared :mod:`repro.vm.cfg` graph.
+    Joins can only occur at block leaders (a non-leader pc's single
+    in-edge is the fall-through from its predecessor), so tracking one
+    entry depth per block reports exactly the pcs the old
+    per-instruction worklist did.
+    """
+    cfg = build_cfg(template)
+    end = len(template.code)
     entry_depth: dict[int, int] = {}
     mismatched: set[int] = set()
-    worklist: list[tuple[int, int]] = [(0, 0)]
+    # Leader pc -> last pc processed (underflow stops a block early; the
+    # rest of the block stays unreached and is warned about below).
+    reached_upto: dict[int, int] = {}
+    worklist: list[tuple[int, int]] = [(cfg.entry, 0)]
 
     def err(kind: ViolationKind, pc: int, message: str) -> None:
         out.append(Violation(kind, path, pc, message))
 
     while worklist:
-        pc, depth = worklist.pop()
-        known = entry_depth.get(pc)
+        leader, depth = worklist.pop()
+        known = entry_depth.get(leader)
         if known is not None:
-            if known != depth and pc not in mismatched:
-                mismatched.add(pc)
+            if known != depth and leader not in mismatched:
+                mismatched.add(leader)
                 err(
-                    ViolationKind.STACK_MISMATCH, pc,
+                    ViolationKind.STACK_MISMATCH, leader,
                     f"inconsistent stack depth at join point:"
                     f" {known} vs {depth}",
                 )
             continue
-        entry_depth[pc] = depth
+        entry_depth[leader] = depth
 
-        instr = code[pc]
-        op = Op(instr[0])
-        pops, pushes = _stack_effect(op, instr)
-        if depth < pops:
-            err(
-                ViolationKind.STACK_UNDERFLOW, pc,
-                f"{op.name} needs {pops} stack value(s), only {depth}"
-                " available",
-            )
-            continue
-        after = depth - pops + pushes
-
-        if op is Op.RETURN or op is Op.TAIL_CALL:
-            if after > 0:
-                out.append(
-                    Violation(
-                        ViolationKind.LEFTOVER_STACK, path, pc,
-                        f"{op.name} leaves {after} value(s) on the operand"
-                        " stack",
-                    )
-                )
-            continue
-        if op is Op.JUMP:
-            worklist.append((instr[1], after))
-            continue
-        successors = [pc + 1]
-        if op is Op.JUMP_IF_FALSE:
-            successors.append(instr[1])
-        for succ in successors:
-            if succ >= end:
+        block = cfg.blocks[leader]
+        underflowed = False
+        for offset, instr in enumerate(block.instrs):
+            pc = leader + offset
+            op = instr[0]
+            if type(op) is not Op:
+                op = Op(op)
+            pops, pushes = _stack_effect(op, instr)
+            if depth < pops:
                 err(
-                    ViolationKind.FALLS_OFF_END, pc,
-                    f"{op.name} falls through past the last instruction"
-                    " with no RETURN or tail call",
+                    ViolationKind.STACK_UNDERFLOW, pc,
+                    f"{op.name} needs {pops} stack value(s), only {depth}"
+                    " available",
                 )
-            else:
-                worklist.append((succ, after))
+                reached_upto[leader] = pc
+                underflowed = True
+                break
+            depth = depth - pops + pushes
+            if op is Op.RETURN or op is Op.TAIL_CALL:
+                if depth > 0:
+                    out.append(
+                        Violation(
+                            ViolationKind.LEFTOVER_STACK, path, pc,
+                            f"{op.name} leaves {depth} value(s) on the"
+                            " operand stack",
+                        )
+                    )
+        if underflowed:
+            continue
+        reached_upto[leader] = block.end - 1
+        if block.falls_off:
+            op = Op(block.terminator[0])
+            err(
+                ViolationKind.FALLS_OFF_END, block.end - 1,
+                f"{op.name} falls through past the last instruction"
+                " with no RETURN or tail call",
+            )
+        for succ in block.succs:
+            worklist.append((succ, depth))
 
-    unreachable = [pc for pc in range(end) if pc not in entry_depth]
+    reached: set[int] = set()
+    for leader, last in reached_upto.items():
+        reached.update(range(leader, last + 1))
+    unreachable = [pc for pc in range(end) if pc not in reached]
     for start, stop in _contiguous_runs(unreachable):
         span = f"{start}" if start == stop else f"{start}..{stop}"
         out.append(
@@ -440,7 +468,7 @@ def _stack_effect(op: Op, instr: tuple) -> tuple[int, int]:
         return 0, 1
     if op in _COUNTED_OPS:
         return instr[2], 0
-    if op in (Op.CALL, Op.TAIL_CALL):
+    if op in _CALL_OPS:
         return instr[1] + 1, 0     # arguments plus the operator
     return 0, 0
 

@@ -467,6 +467,129 @@ class TestImageCommands:
         assert main(["image", "load", "deadbeef", "--store", store]) == 1
         assert "error:" in capsys.readouterr().err
 
+    def test_gc_dry_run_removes_nothing(self, power_file, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        main(
+            [
+                "image", "export", power_file, "--goal", "power",
+                "--sig", "DS", "--static", "5", "--store", store,
+            ]
+        )
+        capsys.readouterr()
+        assert main(
+            ["image", "gc", "--store", store, "--max-bytes", "0", "--dry-run"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "would remove" in out
+        assert "(dry run)" in out
+        # Nothing was actually collected: the image is still listed.
+        assert main(["image", "ls", "--store", store]) == 0
+        assert "store is empty" not in capsys.readouterr().out
+
+    def test_gc_dry_run_json(self, power_file, tmp_path, capsys):
+        import json
+
+        store = str(tmp_path / "store")
+        main(
+            [
+                "image", "export", power_file, "--goal", "power",
+                "--sig", "DS", "--static", "5", "--store", store,
+            ]
+        )
+        capsys.readouterr()
+        assert main(
+            [
+                "image", "gc", "--store", store, "--max-bytes", "0",
+                "--dry-run", "--json",
+            ]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["dry_run"] is True
+        assert report["removed_objects"] >= 1
+        assert report["would_remove"]
+
+
+class TestDisasmCfg:
+    def test_cfg_prints_block_table(self, power_file, capsys):
+        assert main(["disasm", power_file, "--cfg"]) == 0
+        out = capsys.readouterr().out
+        assert ";; cfg power" in out
+        # power has a conditional, so some block ends in a branch and
+        # lists two successors.
+        assert "JUMP_IF_FALSE" in out
+        assert "(exit)" in out
+
+    def test_cfg_json_block_shape(self, power_file, capsys):
+        import json
+
+        assert main(["disasm", power_file, "--cfg", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        (entry,) = [
+            e for e in report["templates"] if e["template"] == "power"
+        ]
+        blocks = entry["cfg"]
+        assert blocks[0]["start"] == 0
+        for block in blocks:
+            assert block["start"] < block["end"]
+            assert isinstance(block["succs"], list)
+            assert isinstance(block["preds"], list)
+            assert block["terminator"]
+        # Edges are consistent: every successor is some block's leader.
+        starts = {b["start"] for b in blocks}
+        assert all(s in starts for b in blocks for s in b["succs"])
+
+
+class TestOptCommand:
+    def test_opt_plain_file_reports_reduction(self, tmp_path, capsys):
+        f = tmp_path / "chain.scm"
+        # let-chains compile to the SETLOC/LOCAL slack the optimizer
+        # exists to remove.
+        f.write_text(
+            "(define (main d)"
+            " (let ((x (+ d 1))) (let ((y x)) (let ((z y)) (* z 2)))))"
+        )
+        assert main(["opt", str(f)]) == 0
+        out = capsys.readouterr().out
+        assert ";; opt: ok" in out
+        assert "-- optimized to -->" in out
+
+    def test_opt_differential_runs_both_loops(self, tmp_path, capsys):
+        import json
+
+        f = tmp_path / "chain.scm"
+        f.write_text(
+            "(define (main d)"
+            " (let ((x (+ d 1))) (let ((y x)) (* y y))))"
+        )
+        assert main(["opt", str(f), "--dynamic", "6", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        (target,) = report["targets"].values()
+        runs = target["differential"]
+        assert set(runs) == {"machine", "profiled"}
+        for run in runs.values():
+            assert run["agree"] is True
+            assert run["optimized"] == "49"
+
+    def test_opt_builtin_workloads_json(self, capsys):
+        import json
+
+        assert main(["opt", "--builtin", "workloads", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        for target in report["targets"].values():
+            assert target["after_instructions"] <= target["before_instructions"]
+            for run in target["differential"].values():
+                assert run["agree"] is True
+            for entry in target["templates"]:
+                assert entry["verified"], entry
+                assert entry["violations"] == []
+
+    def test_opt_without_target_is_an_error(self, capsys):
+        assert main(["opt"]) == 2
+        assert "error:" in capsys.readouterr().err
+
 
 class TestErrorPaths:
     """User mistakes exit non-zero with a message — never a traceback."""
