@@ -30,7 +30,14 @@ def render_instruction(
     if labels is None:
         labels = jump_labels(template)
     instr = template.code[pc]
-    op = Op(instr[0])
+    try:
+        op = Op(instr[0])
+    except ValueError:
+        # A fused superinstruction (run-time-only representation):
+        # render its interned name and raw operands.
+        from repro.vm.dispatch import opcode_name
+
+        return " ".join([opcode_name(instr[0]), *(str(x) for x in instr[1:])])
     rendered = [op.name]
     if op in LITERAL_OPERAND_OPS:
         rendered.append(_literal(template.literals[instr[1]]))

@@ -70,22 +70,31 @@ class Machine:
         return self.call(self.procedure(name), args)
 
     # -- the dispatch loop ---------------------------------------------------
+    #
+    # Generated from the declarative instruction table in
+    # ``repro.vm.dispatch`` — do not edit by hand.  Regenerate with
+    # ``python -m repro.vm.dispatch --write`` (CI runs ``--check``).
+    # ``repro.vm.dispatch.build_loop`` execs the same rendering at run
+    # time, extended with fused handlers for superinstruction plans.
 
-    def _run(self, template: Template, locals_: list, closed: tuple) -> Any:
+    # --- BEGIN GENERATED DISPATCH: production loop ---
+    def _run(self, template, locals_, closed):
+        """Run ``template`` to completion.
+
+        Generated from the instruction table in
+        ``repro.vm.dispatch`` -- do not edit by hand.
+        Continuations are (template, pc, locals, stack, closed)."""
         code = template.code
         literals = template.literals
         pc = 0
-        val: Any = None
-        stack: list = []
-        # Continuations: (template, pc, locals, stack, closed) tuples.
-        conts: list[tuple] = []
+        val = None
+        stack = []
+        conts = []
         globals_ = self.globals
-
         while True:
             instr = code[pc]
             op = instr[0]
             pc += 1
-
             if op == Op.CONST:
                 val = literals[instr[1]]
             elif op == Op.LOCAL:
@@ -125,7 +134,7 @@ class Machine:
             elif op == Op.JUMP_IF_FALSE:
                 if val is False:
                     pc = instr[1]
-            elif op == Op.TAIL_CALL or op == Op.CALL:
+            elif op == Op.TAIL_CALL:
                 n = instr[1]
                 if n:
                     args = stack[-n:]
@@ -134,8 +143,6 @@ class Machine:
                     args = []
                 fn = stack.pop()
                 if isinstance(fn, VmClosure):
-                    if op == Op.CALL:
-                        conts.append((template, pc, locals_, stack, closed))
                     template = fn.template
                     if template.arity != n:
                         raise VMError(
@@ -149,14 +156,38 @@ class Machine:
                     stack = []
                     pc = 0
                 elif isinstance(fn, PrimSpec):
-                    # Primitives as first-class values (rare path).
                     val = fn.apply(args)
-                    if op == Op.TAIL_CALL:
-                        if not conts:
-                            return val
-                        template, pc, locals_, stack, closed = conts.pop()
-                        code = template.code
-                        literals = template.literals
+                    if not conts:
+                        return val
+                    template, pc, locals_, stack, closed = conts.pop()
+                    code = template.code
+                    literals = template.literals
+                else:
+                    raise VMError(f"attempt to apply non-procedure {fn!r}")
+            elif op == Op.CALL:
+                n = instr[1]
+                if n:
+                    args = stack[-n:]
+                    del stack[-n:]
+                else:
+                    args = []
+                fn = stack.pop()
+                if isinstance(fn, VmClosure):
+                    conts.append((template, pc, locals_, stack, closed))
+                    template = fn.template
+                    if template.arity != n:
+                        raise VMError(
+                            f"{template.name}: expected {template.arity}"
+                            f" arguments, got {n}"
+                        )
+                    code = template.code
+                    literals = template.literals
+                    locals_ = args + [None] * (template.nlocals - n)
+                    closed = fn.env
+                    stack = []
+                    pc = 0
+                elif isinstance(fn, PrimSpec):
+                    val = fn.apply(args)
                 else:
                     raise VMError(f"attempt to apply non-procedure {fn!r}")
             elif op == Op.RETURN:
@@ -165,5 +196,6 @@ class Machine:
                 template, pc, locals_, stack, closed = conts.pop()
                 code = template.code
                 literals = template.literals
-            else:  # pragma: no cover - unreachable with a sound assembler
+            else:  # pragma: no cover - unreachable, sound assembler
                 raise VMError(f"unknown opcode {op!r}")
+    # --- END GENERATED DISPATCH: production loop ---

@@ -5,10 +5,12 @@ hot path of everything this system produces, so it carries no
 instrumentation at all — not even a disabled-check per instruction.
 Profiling instead runs the program through :func:`call_profiled`, a
 separate dispatch loop that is semantically identical (the VM edge-case
-suite runs through both loops) but counts as it goes:
+suite runs through both loops, plus the superinstruction-enabled ones)
+but counts as it goes:
 
-* per-opcode execution counts,
+* per-opcode execution counts (fused opcodes included, by fused id),
 * per-template invocation counts and instruction counts,
+* adjacent opcode pair/triple frequencies (superinstruction candidates),
 * total instructions retired,
 
 collected into a :class:`VMProfile`, whose :meth:`~VMProfile.hot_templates`
@@ -16,27 +18,100 @@ ranking answers the question Figs. 6-8 keep circling: *which* residual
 code the time goes into.  The trust model is explicit: profiled numbers
 come from a different loop than production runs, so they are execution
 *counts* (exact, deterministic), not wall-clock attributions.
+
+Both the production and the counting loop are generated from the
+declarative instruction table in :mod:`repro.vm.dispatch`, so they stay
+congruent by construction; the checked-in rendering below sits between
+``BEGIN/END GENERATED DISPATCH`` markers and is policed by the
+``python -m repro.vm.dispatch --check`` drift gate.
+
+Attribution identity
+--------------------
+
+Counts are keyed by :class:`TemplateIdent` — ``(name, content digest)``
+— not by bare name.  Distinct templates that share a name (every nested
+``anonymous`` closure, re-specialized twins) keep separate rows, which
+matters because tier promotion decides from this ranking; structurally
+identical twins (e.g. memo-shared copies) merge, which is the right
+answer for "where does the time go".  ``report()``/``to_json()`` still
+render human-readable names, adding a short digest suffix only when a
+name is ambiguous within the profile.
+
+Pair/triple adjacency is *dynamic*: consecutive retired instructions
+within one frame, with the chain reset across frame switches and after
+any branching opcode (taken or not).  Runs that span a basic-block
+leader may therefore count a pair the fuser cannot fuse — harmless, the
+selection is a heuristic and every fused template is still validated.
 """
 
 from __future__ import annotations
 
-from typing import Any, Sequence
+from typing import Any, NamedTuple, Sequence
 
 from repro.lang.prims import PrimSpec
 from repro.sexp.datum import Symbol
+from repro.vm.dispatch import FUSABLE_OPS as _FUSABLE
+from repro.vm.dispatch import opcode_name
 from repro.vm.instructions import Op
 from repro.vm.machine import Machine, VmClosure, VMError
 from repro.vm.template import Template
+
+
+class TemplateIdent(NamedTuple):
+    """Stable per-template identity: name plus content digest."""
+
+    name: str
+    digest: str
+
+    @property
+    def short(self) -> str:
+        """``name#digest8`` — the unambiguous display form."""
+        return f"{self.name}#{self.digest[:8]}"
 
 
 class VMProfile:
     """Execution counts collected by the profiled dispatch loop."""
 
     def __init__(self) -> None:
-        self.opcode_counts: dict[Op, int] = {}
-        self.template_invocations: dict[str, int] = {}
-        self.template_instructions: dict[str, int] = {}
+        # Opcode keys are Op members, plus plain ints for fused opcodes.
+        self.opcode_counts: dict[Any, int] = {}
+        self.template_invocations: dict[TemplateIdent, int] = {}
+        self.template_instructions: dict[TemplateIdent, int] = {}
+        self.pair_counts: dict[tuple, int] = {}
+        self.triple_counts: dict[tuple, int] = {}
         self.calls = 0                 # top-level call_profiled entries
+        # id(template) -> TemplateIdent.  The digest is content-stable,
+        # but the id-keyed fast path must never dangle: ``_pinned``
+        # holds a strong reference to every template seen, so an id
+        # cannot be recycled for the lifetime of this profile.
+        self._idents: dict[int, TemplateIdent] = {}
+        self._pinned: list[Template] = []
+
+    # -- attribution --------------------------------------------------------
+
+    def _ident(self, template: Template) -> TemplateIdent:
+        """The counting loops' per-frame key (id-cached digest)."""
+        found = self._idents.get(id(template))
+        if found is not None:
+            return found
+        ident = TemplateIdent(template.name, template.content_digest())
+        self._idents[id(template)] = ident
+        self._pinned.append(template)
+        return ident
+
+    def _display_names(self) -> dict[TemplateIdent, str]:
+        """Bare names where unambiguous, ``name#digest8`` where not."""
+        by_name: dict[str, int] = {}
+        for ident in self.template_instructions:
+            by_name[ident.name] = by_name.get(ident.name, 0) + 1
+        for ident in self.template_invocations:
+            if ident not in self.template_instructions:
+                by_name[ident.name] = by_name.get(ident.name, 0) + 1
+        return {
+            ident: (ident.name if by_name.get(ident.name, 0) == 1 else ident.short)
+            for ident in set(self.template_instructions)
+            | set(self.template_invocations)
+        }
 
     # -- accessors ----------------------------------------------------------
 
@@ -45,35 +120,65 @@ class VMProfile:
         return sum(self.opcode_counts.values())
 
     def hot_templates(self, n: int = 10) -> list[tuple[str, int, int]]:
-        """``(name, instructions, invocations)`` ranked by instructions."""
+        """``(display name, instructions, invocations)`` by instructions.
+
+        Rows are per template *identity*: same-named distinct templates
+        stay separate (disambiguated as ``name#digest8``).
+        """
+        display = self._display_names()
         ranked = sorted(
             self.template_instructions.items(),
-            key=lambda item: (-item[1], item[0]),
+            key=lambda item: (-item[1], display[item[0]]),
         )
         return [
-            (name, instrs, self.template_invocations.get(name, 0))
-            for name, instrs in ranked[:n]
+            (display[ident], instrs, self.template_invocations.get(ident, 0))
+            for ident, instrs in ranked[:n]
+        ]
+
+    def hot_pairs(self, n: int = 10) -> list[tuple[str, int]]:
+        """``("A;B", count)`` adjacent-opcode runs by dynamic frequency."""
+        ranked = sorted(
+            self.pair_counts.items(),
+            key=lambda item: (-item[1], tuple(int(op) for op in item[0])),
+        )
+        return [
+            (";".join(opcode_name(op) for op in seq), count)
+            for seq, count in ranked[:n]
         ]
 
     def to_json(self) -> dict[str, Any]:
+        """Machine-readable profile; empty profiles render as empty maps,
+
+        mirroring the text report's ``(none)`` rows (no placeholder
+        entries, no shape change).
+        """
+        display = self._display_names()
+        templates = {
+            display[ident]: {
+                "name": ident.name,
+                "digest": ident.digest,
+                "instructions": instrs,
+                "invocations": self.template_invocations.get(ident, 0),
+            }
+            for ident, instrs in sorted(
+                self.template_instructions.items(),
+                key=lambda item: (-item[1], display[item[0]]),
+            )
+        }
         return {
             "calls": self.calls,
             "total_instructions": self.total_instructions,
             "opcodes": {
-                op.name: count
+                opcode_name(op): count
                 for op, count in sorted(
-                    self.opcode_counts.items(), key=lambda item: -item[1]
+                    self.opcode_counts.items(),
+                    key=lambda item: (-item[1], int(item[0])),
                 )
             },
-            "templates": {
-                name: {
-                    "instructions": instrs,
-                    "invocations": self.template_invocations.get(name, 0),
-                }
-                for name, instrs, _ in self.hot_templates(n=len(
-                    self.template_instructions
-                ) or 1)
+            "pairs": {
+                pair: count for pair, count in self.hot_pairs(len(self.pair_counts))
             },
+            "templates": templates,
         }
 
     def report(self, top: int = 10) -> str:
@@ -86,11 +191,21 @@ class VMProfile:
         ]
         total = self.total_instructions or 1
         for op, count in sorted(
-            self.opcode_counts.items(), key=lambda item: -item[1]
+            self.opcode_counts.items(), key=lambda item: (-item[1], int(item[0]))
         ):
             lines.append(
-                f"  {op.name:<16} {count:10d}  {100.0 * count / total:5.1f}%"
+                f"  {opcode_name(op):<16} {count:10d}"
+                f"  {100.0 * count / total:5.1f}%"
             )
+        if not self.opcode_counts:
+            lines.append("  (none)")
+        lines.append("")
+        lines.append(f"hot opcode pairs (top {top}):")
+        pairs = self.hot_pairs(top)
+        for pair, count in pairs:
+            lines.append(f"  {pair:<28} {count:10d}")
+        if not pairs:
+            lines.append("  (none)")
         lines.append("")
         lines.append(f"hot templates (top {top} by instructions):")
         for name, instrs, invocations in self.hot_templates(top):
@@ -109,7 +224,9 @@ def call_profiled(
     """Apply a VM procedure under the counting dispatch loop.
 
     Mirrors :meth:`Machine.call`; results and raised errors are
-    identical to the unprofiled loop.
+    identical to the unprofiled loop.  Machines that carry a fusion
+    plan (``SuperMachine``) expose a plan-aware counting loop as
+    ``_counting_loop``; plain machines use the checked-in base loop.
     """
     if not isinstance(fn, VmClosure):
         raise VMError(f"attempt to apply non-procedure {fn!r}")
@@ -121,7 +238,8 @@ def call_profiled(
         )
     locals_ = list(args) + [None] * (template.nlocals - template.arity)
     profile.calls += 1
-    return _run_counting(machine, template, locals_, fn.env, profile)
+    loop = getattr(machine, "_counting_loop", None) or _run_counting
+    return loop(machine, template, locals_, fn.env, profile)
 
 
 def call_named_profiled(
@@ -130,41 +248,51 @@ def call_named_profiled(
     return call_profiled(machine, machine.procedure(name), args, profile)
 
 
-def _run_counting(
-    machine: Machine,
-    template: Template,
-    locals_: list,
-    closed: tuple,
-    profile: VMProfile,
-) -> Any:
-    """The counting twin of :meth:`Machine._run`.
+# Generated from the declarative instruction table in
+# ``repro.vm.dispatch`` — do not edit by hand.  Regenerate with
+# ``python -m repro.vm.dispatch --write`` (CI runs ``--check``).
 
-    Every semantic step matches the production loop instruction for
-    instruction; the only additions are the count updates.  Keep the two
-    loops in sync — ``tests/test_vm_edge_cases.py`` runs its dispatch
-    edge cases through both.
-    """
+# --- BEGIN GENERATED DISPATCH: counting loop ---
+def _run_counting(machine, template, locals_, closed, profile):
+    """Counting twin of ``Machine._run``.
+
+    Generated from the instruction table in
+    ``repro.vm.dispatch`` -- semantics match the
+    production loop by construction; the only additions
+    are the count updates (opcodes, per-template
+    attribution by content identity, and adjacent
+    pair/triple frequencies feeding superinstruction
+    selection)."""
     opcode_counts = profile.opcode_counts
     tmpl_instrs = profile.template_instructions
     tmpl_invocations = profile.template_invocations
-
+    pair_counts = profile.pair_counts
+    triple_counts = profile.triple_counts
     code = template.code
     literals = template.literals
-    tname = template.name
-    tmpl_invocations[tname] = tmpl_invocations.get(tname, 0) + 1
+    tkey = profile._ident(template)
+    tmpl_invocations[tkey] = tmpl_invocations.get(tkey, 0) + 1
     pc = 0
-    val: Any = None
-    stack: list = []
-    conts: list[tuple] = []
+    val = None
+    stack = []
+    conts = []
     globals_ = machine.globals
-
+    prev1 = None
+    prev2 = None
     while True:
         instr = code[pc]
         op = instr[0]
         pc += 1
         opcode_counts[op] = opcode_counts.get(op, 0) + 1
-        tmpl_instrs[tname] = tmpl_instrs.get(tname, 0) + 1
-
+        tmpl_instrs[tkey] = tmpl_instrs.get(tkey, 0) + 1
+        if prev1 is not None:
+            pair = (prev1, op)
+            pair_counts[pair] = pair_counts.get(pair, 0) + 1
+            if prev2 is not None:
+                run3 = (prev2, prev1, op)
+                triple_counts[run3] = triple_counts.get(run3, 0) + 1
+        prev2 = prev1
+        prev1 = op if op in _FUSABLE else None
         if op == Op.CONST:
             val = literals[instr[1]]
         elif op == Op.LOCAL:
@@ -204,7 +332,7 @@ def _run_counting(
         elif op == Op.JUMP_IF_FALSE:
             if val is False:
                 pc = instr[1]
-        elif op == Op.TAIL_CALL or op == Op.CALL:
+        elif op == Op.TAIL_CALL:
             n = instr[1]
             if n:
                 args = stack[-n:]
@@ -213,8 +341,6 @@ def _run_counting(
                 args = []
             fn = stack.pop()
             if isinstance(fn, VmClosure):
-                if op == Op.CALL:
-                    conts.append((template, pc, locals_, stack, closed))
                 template = fn.template
                 if template.arity != n:
                     raise VMError(
@@ -223,21 +349,48 @@ def _run_counting(
                     )
                 code = template.code
                 literals = template.literals
-                tname = template.name
-                tmpl_invocations[tname] = tmpl_invocations.get(tname, 0) + 1
+                tkey = profile._ident(template)
+                tmpl_invocations[tkey] = tmpl_invocations.get(tkey, 0) + 1
                 locals_ = args + [None] * (template.nlocals - n)
                 closed = fn.env
                 stack = []
                 pc = 0
             elif isinstance(fn, PrimSpec):
                 val = fn.apply(args)
-                if op == Op.TAIL_CALL:
-                    if not conts:
-                        return val
-                    template, pc, locals_, stack, closed = conts.pop()
-                    code = template.code
-                    literals = template.literals
-                    tname = template.name
+                if not conts:
+                    return val
+                template, pc, locals_, stack, closed = conts.pop()
+                code = template.code
+                literals = template.literals
+                tkey = profile._ident(template)
+            else:
+                raise VMError(f"attempt to apply non-procedure {fn!r}")
+        elif op == Op.CALL:
+            n = instr[1]
+            if n:
+                args = stack[-n:]
+                del stack[-n:]
+            else:
+                args = []
+            fn = stack.pop()
+            if isinstance(fn, VmClosure):
+                conts.append((template, pc, locals_, stack, closed))
+                template = fn.template
+                if template.arity != n:
+                    raise VMError(
+                        f"{template.name}: expected {template.arity}"
+                        f" arguments, got {n}"
+                    )
+                code = template.code
+                literals = template.literals
+                tkey = profile._ident(template)
+                tmpl_invocations[tkey] = tmpl_invocations.get(tkey, 0) + 1
+                locals_ = args + [None] * (template.nlocals - n)
+                closed = fn.env
+                stack = []
+                pc = 0
+            elif isinstance(fn, PrimSpec):
+                val = fn.apply(args)
             else:
                 raise VMError(f"attempt to apply non-procedure {fn!r}")
         elif op == Op.RETURN:
@@ -246,6 +399,7 @@ def _run_counting(
             template, pc, locals_, stack, closed = conts.pop()
             code = template.code
             literals = template.literals
-            tname = template.name
-        else:  # pragma: no cover - unreachable with a sound assembler
+            tkey = profile._ident(template)
+        else:  # pragma: no cover - unreachable, sound assembler
             raise VMError(f"unknown opcode {op!r}")
+# --- END GENERATED DISPATCH: counting loop ---

@@ -7,6 +7,7 @@ through the literal frame.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Any, Tuple
 
@@ -43,25 +44,77 @@ class Template:
             f" {len(self.code)} instrs, {len(self.literals)} literals>"
         )
 
+    def content_digest(self) -> str:
+        """A stable hex digest of the template's *content*.
+
+        Covers name, arity, nlocals, the code vector, and the literal
+        frame (nested templates recursively by their own digest; prim
+        specs by name).  Two structurally identical templates — for
+        example an original and its re-assembled or memo-shared twin —
+        share a digest even when they are distinct objects, which is
+        what profile attribution and recursive instruction counting key
+        on.  Literals outside the codec's closed set fall back to
+        ``repr``, so exotic host objects may weaken the cross-process
+        stability (never the in-process correctness) of the digest.
+        """
+        return _content_digest(self, {})
+
     def instruction_count(self, recursive: bool = True) -> int:
         """Number of instructions, optionally including nested templates.
 
-        A template referenced from several literal slots (or shared
-        between several enclosing templates) is counted once — the code
-        exists once, however many closures instantiate it.
+        A nested template that appears several times — whether as the
+        *same object* in several literal slots or as several
+        structurally identical copies — is counted once: dedup is by
+        :meth:`content_digest`, not object identity, so the count is
+        invariant under the optimizer's content-keyed memo sharing
+        identical subtemplates.  The fig7 before/after comparison
+        depends on both sides being counted under this same rule.
         """
         if not recursive:
             return len(self.code)
         count = 0
-        seen: set[int] = set()
+        memo: dict[int, str] = {}
+        seen: set[str] = set()
         stack: list[Template] = [self]
         while stack:
             template = stack.pop()
-            if id(template) in seen:
+            digest = _content_digest(template, memo)
+            if digest in seen:
                 continue
-            seen.add(id(template))
+            seen.add(digest)
             count += len(template.code)
             for lit in template.literals:
                 if isinstance(lit, Template):
                     stack.append(lit)
         return count
+
+
+def _content_digest(template: Template, memo: dict[int, str]) -> str:
+    """Recursive content digest with an id-keyed memo for shared subtrees."""
+    found = memo.get(id(template))
+    if found is not None:
+        return found
+    # Late import: prims does not depend on this module, but keeping the
+    # top level import-free preserves template.py as a leaf module.
+    from repro.lang.prims import PrimSpec
+
+    hasher = hashlib.sha256()
+    hasher.update(
+        f"template\x00{template.name}\x00{template.arity}"
+        f"\x00{template.nlocals}\x00".encode()
+    )
+    for instr in template.code:
+        # Op has a custom name repr; operands are ints — both stable.
+        hasher.update(repr(tuple(instr)).encode())
+        hasher.update(b"\x00")
+    for lit in template.literals:
+        if isinstance(lit, Template):
+            hasher.update(b"T\x00" + _content_digest(lit, memo).encode())
+        elif isinstance(lit, PrimSpec):
+            hasher.update(f"P\x00{lit.name}".encode())
+        else:
+            hasher.update(f"L\x00{type(lit).__name__}\x00{lit!r}".encode())
+        hasher.update(b"\x00")
+    digest = hasher.hexdigest()
+    memo[id(template)] = digest
+    return digest

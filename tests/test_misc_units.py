@@ -203,29 +203,67 @@ class TestTemplateAndDisasm:
         assert outer.instruction_count(recursive=False) == 3
         assert outer.instruction_count(recursive=True) == 3 + 2
 
-    def test_instruction_count_counts_distinct_equal_templates(self):
-        """Two structurally equal but distinct nested templates are two
-        pieces of code; identity, not equality, is the dedupe key."""
+    def test_instruction_count_merges_distinct_equal_templates(self):
+        """Dedup is by *content digest*, not object identity: two
+        structurally identical nested templates are one piece of code
+        however many copies exist.  This keeps the fig7 before/after
+        comparison fair — the optimizer's content-keyed memo shares
+        identical subtemplates on the "after" side, and counting the
+        unshared "before" side per object would inflate the apparent
+        reduction."""
         from repro.vm.instructions import Op
         from repro.vm.template import Template
 
-        def leaf():
+        def leaf(value=1):
             return Template(
                 code=((Op.CONST, 0), (Op.RETURN,)),
-                literals=(1,),
+                literals=(value,),
                 arity=0,
                 nlocals=0,
                 name="leaf",
             )
 
-        outer = Template(
-            code=((Op.MAKE_CLOSURE, 0, 0), (Op.RETURN,)),
-            literals=(leaf(), leaf()),
-            arity=0,
-            nlocals=0,
-            name="outer",
-        )
-        assert outer.instruction_count(recursive=True) == 2 + 2 + 2
+        def outer(*leaves):
+            return Template(
+                code=tuple(
+                    (Op.MAKE_CLOSURE, i, 0) for i in range(len(leaves))
+                ) + ((Op.RETURN,),),
+                literals=tuple(leaves),
+                arity=0,
+                nlocals=0,
+                name="outer",
+            )
+
+        # Distinct objects, identical content: counted once.
+        shared = outer(leaf(), leaf())
+        assert shared.instruction_count(recursive=True) == 3 + 2
+        # Same shape, different literal content: counted separately.
+        distinct = outer(leaf(1), leaf(2))
+        assert distinct.instruction_count(recursive=True) == 3 + 2 + 2
+        # The two sides of a before/after comparison agree whether or
+        # not equal subtemplates are object-shared.
+        one = leaf()
+        assert outer(one, one).instruction_count(
+            recursive=True
+        ) == shared.instruction_count(recursive=True)
+
+    def test_content_digest_contract(self):
+        """Equal content ⇔ equal digest; any content change flips it."""
+        from repro.vm.instructions import Op
+        from repro.vm.template import Template
+
+        def make(value=1, name="t"):
+            return Template(
+                code=((Op.CONST, 0), (Op.RETURN,)),
+                literals=(value,),
+                arity=0,
+                nlocals=0,
+                name=name,
+            )
+
+        assert make().content_digest() == make().content_digest()
+        assert make(1).content_digest() != make(2).content_digest()
+        assert make(name="a").content_digest() != make(name="b").content_digest()
 
     def test_disassemble_shows_globals_and_prims(self):
         from repro.anf import anf_convert

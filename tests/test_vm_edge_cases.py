@@ -1,12 +1,14 @@
-"""VM dispatch edge cases, run through BOTH dispatch loops.
+"""VM dispatch edge cases, run through EVERY generated dispatch loop.
 
-These lock in the semantics the profiler's counting loop
-(:mod:`repro.vm.profile`) must preserve: first-class ``PrimSpec`` in
-non-tail ``CALL`` position, ``TAIL_CALL`` of a prim with an empty
+These lock in the semantics all loops generated from the instruction
+table (:mod:`repro.vm.dispatch`) must preserve: first-class ``PrimSpec``
+in non-tail ``CALL`` position, ``TAIL_CALL`` of a prim with an empty
 continuation stack, and ``JUMP_IF_FALSE`` treating only ``#f`` as false.
-Every test is parametrized over ``Machine.call`` and
-:func:`~repro.vm.profile.call_profiled`, so a divergence between the
-production loop and the counting twin fails here by construction.
+Every test is parametrized over ``Machine.call`` (the production loop),
+:func:`~repro.vm.profile.call_profiled` (the counting twin), and a
+superinstruction-fused :class:`~repro.vm.superinst.SuperMachine` (the
+template statically fused under its own plan), so a divergence between
+any pair of generated loops fails here by construction.
 """
 
 import pytest
@@ -17,18 +19,22 @@ from repro.vm import (
     Machine,
     Op,
     Template,
+    TemplateIdent,
     VMError,
     VMProfile,
     VmClosure,
     assemble,
     call_profiled,
+    fuse_template,
     instruction,
     instruction_using_label,
     attach_label,
     make_label,
+    plan_from_template,
     sequentially,
     Lit,
 )
+from repro.vm.superinst import SuperMachine
 
 
 def run_plain(template, args=(), globals_=None):
@@ -46,9 +52,20 @@ def run_counting(template, args=(), globals_=None):
     return result
 
 
+def run_super(template, args=(), globals_=None):
+    # Fuse the template under its own static plan (every fusable
+    # adjacent run in its blocks) and run it on the fused dispatch
+    # loop — the superinstruction arms plus all base arms.
+    plan = plan_from_template(template)
+    fused = fuse_template(template, plan)
+    machine = SuperMachine(globals_, plan=plan)
+    return machine.call(VmClosure(fused, ()), list(args))
+
+
 RUNNERS = [
     pytest.param(run_plain, id="production-loop"),
     pytest.param(run_counting, id="counting-loop"),
+    pytest.param(run_super, id="superinstruction-loop"),
 ]
 
 
@@ -210,14 +227,81 @@ class TestCountingLoopAccounting:
         assert (
             call_profiled(machine, VmClosure(outer, ()), [], profile) == 5
         )
-        assert profile.template_invocations == {"outer": 1, "identity": 1}
-        assert profile.template_instructions["identity"] == 2
+        # Counts are keyed by stable per-template identity (name +
+        # content digest), not bare name.
+        assert {k.name for k in profile.template_invocations} == {
+            "outer", "identity",
+        }
+        assert all(
+            isinstance(k, TemplateIdent) and v == 1
+            for k, v in profile.template_invocations.items()
+        )
+        inner_ident = TemplateIdent("identity", inner.content_digest())
+        assert profile.template_instructions[inner_ident] == 2
         assert profile.opcode_counts[Op.CALL] == 1
         ranked = profile.hot_templates()
-        assert ranked[0][0] == "outer"
+        assert ranked[0][0] == "outer"   # display name stays readable
         json_form = profile.to_json()
-        assert json_form["templates"]["identity"]["invocations"] == 1
+        by_name = {
+            entry["name"]: entry
+            for entry in json_form["templates"].values()
+        }
+        assert by_name["identity"]["invocations"] == 1
         assert "hot templates" in profile.report()
+
+    def test_same_named_templates_attributed_separately(self):
+        # Regression: two distinct templates that share a name must not
+        # have their counts merged — attribution is by content identity.
+        def make(literal):
+            return simple(instruction(Op.CONST, Lit(literal)), name="twin")
+
+        first, second = make(1), make(2)
+        machine = Machine()
+        profile = VMProfile()
+        assert call_profiled(machine, VmClosure(first, ()), [], profile) == 1
+        assert call_profiled(machine, VmClosure(second, ()), [], profile) == 2
+        assert call_profiled(machine, VmClosure(first, ()), [], profile) == 1
+        invocations = {
+            k: v for k, v in profile.template_invocations.items()
+            if k.name == "twin"
+        }
+        assert sorted(invocations.values()) == [1, 2]
+        # Human-readable output disambiguates colliding names with the
+        # digest suffix instead of silently merging them.
+        names = [name for name, _, _ in profile.hot_templates()]
+        assert all(name.startswith("twin#") for name in names)
+        assert len(set(names)) == 2
+        report = profile.report()
+        assert "twin#" in report
+
+    def test_object_identity_does_not_split_counts(self):
+        # The flip side: structurally identical copies are ONE template
+        # as far as attribution goes, even as distinct Python objects.
+        t = simple(instruction(Op.CONST, Lit(7)), name="same")
+        copy = Template(
+            code=t.code, literals=t.literals, arity=t.arity,
+            nlocals=t.nlocals, name=t.name,
+        )
+        assert copy is not t
+        machine = Machine()
+        profile = VMProfile()
+        call_profiled(machine, VmClosure(t, ()), [], profile)
+        call_profiled(machine, VmClosure(copy, ()), [], profile)
+        ident = TemplateIdent("same", t.content_digest())
+        assert profile.template_invocations[ident] == 2
+
+    def test_empty_profile_renders_consistently(self):
+        # Regression: a never-run profile must produce the same "empty"
+        # story in text and JSON — "(none)" sections and empty maps.
+        profile = VMProfile()
+        report = profile.report()
+        assert report.count("(none)") == 3
+        json_form = profile.to_json()
+        assert json_form["calls"] == 0
+        assert json_form["total_instructions"] == 0
+        assert json_form["opcodes"] == {}
+        assert json_form["pairs"] == {}
+        assert json_form["templates"] == {}
 
     def test_results_identical_to_production_loop(self):
         # The same computation through both loops, same answer.
