@@ -92,6 +92,22 @@ profile [FILE --sig SIG] [--builtin all|examples|workloads] [--json]
     instruction counts, and the hot-template ranking.  ``--repeat N``
     runs the residual program N times (counts accumulate).
 
+serve [--host H] [--port P] [--store DIR] [--trust TENANT ...]
+    Run the specialization service: a concurrent multi-tenant server
+    speaking the length-prefixed frame protocol of
+    :mod:`repro.serve.protocol`.  Each tenant gets its own generating
+    extensions, residual caches and quotas; untrusted tenants pass
+    through forbid-mode admission control.  Prints ``listening on
+    HOST:PORT`` (stderr) once bound; ``--port 0`` picks an ephemeral
+    port.  Stop with SIGINT/SIGTERM.
+
+loadgen [--host H --port P] [--clients N] [--requests N] [--json]
+    Drive concurrent clients against a specialization server and report
+    cold/warm latency percentiles, throughput, and provenance counts
+    over the §7 benchmark workloads.  Without ``--host``/``--port`` an
+    in-process server is started for the run.  Exit status 1 on any
+    protocol error or non-BUSY request error.
+
 combinators
     Print the generated code-generation combinator module (Act 3's file).
 
@@ -1117,7 +1133,14 @@ def cmd_image_load(args: argparse.Namespace) -> int:
 def cmd_image_ls(args: argparse.Namespace) -> int:
     import json
 
-    entries = _image_store(args).ls()
+    # An inventory command must not invent an empty store: refuse (exit
+    # 1 with a message, via main's error boundary) instead of mkdir-ing.
+    if not Path(args.store).is_dir():
+        raise OSError(
+            f"image store directory {args.store!r} does not exist"
+            " (or is not a directory)"
+        )
+    entries = _image_store(args).ls(strict=True)
     if args.json:
         print(json.dumps(entries, indent=2))
         return 0
@@ -1160,6 +1183,98 @@ def cmd_image_gc(args: argparse.Namespace) -> int:
             f" {report['bytes_before']} -> {report['bytes_after']} bytes"
         )
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.serve import SpecializationServer, TenantQuota
+
+    quota = TenantQuota(
+        max_programs=args.max_programs,
+        max_cached_residuals=args.max_cached_residuals,
+        max_in_flight=args.max_in_flight,
+        max_unfold_depth=args.max_unfold_depth,
+        max_residual_size=args.max_residual_size,
+    )
+    server = SpecializationServer(
+        host=args.host,
+        port=args.port,
+        max_connections=args.max_connections,
+        quota=quota,
+        trusted=frozenset(args.trust or ()),
+        store_dir=args.store,
+    )
+    stop = {"requested": False}
+
+    def request_stop(signum, frame):  # pragma: no cover - signal path
+        stop["requested"] = True
+
+    server.start()
+    print(f"listening on {server.host}:{server.port}", file=sys.stderr)
+    sys.stderr.flush()
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        previous[sig] = signal.signal(sig, request_stop)
+    try:
+        import time
+
+        while not stop["requested"]:
+            time.sleep(0.2)
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        server.stop()
+    print("server stopped", file=sys.stderr)
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve.loadgen import render_report, run_load, select_workloads
+
+    workloads = select_workloads(args.workload) if args.workload else None
+    own_server = None
+    host, port = args.host, args.port
+    if port is None:
+        # No server given: run one in-process for the duration, with
+        # quotas sized to the requested concurrency (the builtin
+        # workloads pass forbid-mode admission, so no --trust needed).
+        from repro.serve import SpecializationServer, TenantQuota
+
+        own_server = SpecializationServer(
+            host=host,
+            port=0,
+            store_dir=args.store,
+            quota=TenantQuota(max_in_flight=max(args.clients, 8)),
+            max_connections=max(args.clients + 4, 64),
+        )
+        own_server.start()
+        port = own_server.port
+    try:
+        report = run_load(
+            host,
+            port,
+            clients=args.clients,
+            requests=args.requests,
+            workloads=workloads,
+            tenant=args.tenant,
+            think_ms=args.think_ms,
+        )
+    finally:
+        if own_server is not None:
+            own_server.stop()
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(render_report(report))
+    failed = report["protocol_errors"] > 0 or any(
+        code != "BUSY" for code in report["errors"]
+    )
+    return 1 if failed else 0
 
 
 def cmd_combinators(args: argparse.Namespace) -> int:
@@ -1452,6 +1567,95 @@ def main(argv: list[str] | None = None) -> int:
     )
     p.add_argument("--json", action="store_true")
     p.set_defaults(fn=cmd_image_gc)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the concurrent multi-tenant specialization service",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=7357,
+        help="TCP port (0 picks an ephemeral port; default: 7357)",
+    )
+    p.add_argument(
+        "--store",
+        help="root directory for per-tenant on-disk image stores (L2)",
+    )
+    p.add_argument(
+        "--trust", action="append", metavar="TENANT",
+        help="tenant whose admission findings warn instead of denying;"
+        " repeatable",
+    )
+    p.add_argument(
+        "--max-connections", type=int, default=64, dest="max_connections",
+        help="connection pool bound; excess connections get a retryable"
+        " BUSY frame (default: 64)",
+    )
+    p.add_argument(
+        "--max-programs", type=int, default=8, dest="max_programs",
+        help="distinct programs cached per tenant (default: 8)",
+    )
+    p.add_argument(
+        "--max-cached-residuals", type=int, default=64,
+        dest="max_cached_residuals",
+        help="residual-cache capacity per tenant program (default: 64)",
+    )
+    p.add_argument(
+        "--max-in-flight", type=int, default=8, dest="max_in_flight",
+        help="concurrent requests per tenant before BUSY (default: 8)",
+    )
+    p.add_argument(
+        "--max-unfold-depth", type=int, default=5000,
+        dest="max_unfold_depth",
+        help="per-request unfold-depth ceiling (default: 5000)",
+    )
+    p.add_argument(
+        "--max-residual-size", type=int, default=1_000_000,
+        dest="max_residual_size",
+        help="per-request residual-size ceiling (default: 1000000)",
+    )
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "loadgen",
+        help="drive concurrent clients against a specialization server",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=None,
+        help="server port (omit to start an in-process server)",
+    )
+    p.add_argument(
+        "--builtin", choices=("workloads",), default="workloads",
+        help="request mix (currently: the §7 benchmark workloads)",
+    )
+    p.add_argument(
+        "--workload", action="append", choices=("mixwell", "lazy"),
+        help="restrict the mix to the named workload(s); repeatable",
+    )
+    p.add_argument(
+        "--clients", type=int, default=10,
+        help="concurrent client connections (default: 10)",
+    )
+    p.add_argument(
+        "--requests", type=int, default=16,
+        help="requests per client (default: 16)",
+    )
+    p.add_argument("--tenant", default="loadgen")
+    p.add_argument(
+        "--think-ms", type=float, default=0.0, dest="think_ms",
+        help="per-client pause between requests in ms (0 = closed-loop"
+        " saturation; a few ms measures latency instead of queueing)",
+    )
+    p.add_argument(
+        "--store",
+        help="store directory for the in-process server (L2 tier)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the report as a JSON object",
+    )
+    p.set_defaults(fn=cmd_loadgen)
 
     p = sub.add_parser("combinators", help="print the generated combinators")
     p.set_defaults(fn=cmd_combinators)

@@ -355,13 +355,23 @@ class ImageStore:
     def _verify(residual: ResidualProgram) -> None:
         verify_residual(residual)
 
-    def ls(self) -> list[dict[str, Any]]:
+    def ls(self, strict: bool = False) -> list[dict[str, Any]]:
         """Describe every indexed image: key, object digest, size,
-        mtime, and — when decodable — goal name, kind, and parameters."""
+        mtime, and — when decodable — goal name, kind, and parameters.
+
+        By default an unreadable store degrades to an empty listing
+        (consistent with reads elsewhere: a broken store behaves like a
+        miss).  ``strict=True`` raises :class:`OSError` instead — the
+        CLI's ops story wants "this store is broken", not "this store
+        is empty"."""
         entries = []
         try:
             refs = sorted(self.index_dir.iterdir())
-        except OSError:
+        except OSError as exc:
+            if strict:
+                raise OSError(
+                    f"cannot read image store at {self.root}: {exc}"
+                ) from exc
             return entries
         for ref in refs:
             if ref.name.startswith("."):

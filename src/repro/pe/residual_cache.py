@@ -67,6 +67,20 @@ class ResidualCache:
         with self._lock:
             return len(self._entries)
 
+    def peek(self, key: Hashable) -> Any | None:
+        """A read-only probe that does **not** promote LRU recency.
+
+        :meth:`lookup` and :meth:`get_or_generate` move a hit to the
+        most-recently-used end — correct for callers that *use* the
+        residual, wrong for stats/inspection paths: a monitor polling
+        the cache would keep every polled key artificially warm and
+        reshape eviction order.  ``peek`` reads the entry (no recency
+        update, no hit/miss counters), so observing the cache never
+        perturbs it.
+        """
+        with self._lock:
+            return self._entries.get(key)
+
     def lookup(self, key: Hashable) -> Any | None:
         """A bare probe (no generation, no single-flight wait)."""
         with self._lock:

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import copy
 import hashlib
 import threading
 import time
@@ -59,6 +60,20 @@ def program_digest(
         h.update(write(d).encode("utf-8"))
         h.update(b"\n")
     return h.hexdigest()
+
+
+def object_kind(verify: bool = True, optimize: bool = True) -> str:
+    """The backend-kind cache discriminator for object-code generation.
+
+    Must stay in lockstep with :meth:`GeneratingExtension.to_object_code`:
+    residual programs generated with different verify/optimize knobs
+    never share a cache entry, and external observers (the service
+    layer's ``probe``) need the same key to inspect the cache.
+    """
+    kind = "object" if verify else "object-unverified"
+    if not optimize:
+        kind += "-noopt"
+    return kind
 
 
 class _TierState:
@@ -522,9 +537,7 @@ class GeneratingExtension:
         template, so the L1 cache and the on-disk store hold optimized
         code.
         """
-        kind = "object" if verify else "object-unverified"
-        if not optimize:
-            kind += "-noopt"
+        kind = object_kind(verify, optimize)
         return self._generate(
             static_args,
             dif_strategy,
@@ -547,6 +560,26 @@ class GeneratingExtension:
 
     # -- cache introspection -----------------------------------------------------
 
+    def peek(
+        self,
+        static_args: Sequence[Any],
+        dif_strategy: str = "duplicate",
+        kind: str = "object",
+    ) -> ResidualProgram | None:
+        """A read-only L1 probe: the cached residual program, or ``None``.
+
+        Unlike generation (and unlike :meth:`ResidualCache.lookup`),
+        peeking neither promotes the entry's LRU recency nor counts a
+        hit, so inspection/monitoring paths — the service layer's
+        ``probe`` request, dashboards polling warmth — cannot perturb
+        eviction order.  ``kind`` is the backend discriminator
+        (:func:`object_kind`, or ``"source"``).
+        """
+        if self.cache.maxsize <= 0:
+            return None
+        frozen = tuple(freeze_static(a) for a in static_args)
+        return self.cache.peek((frozen, dif_strategy, kind))
+
     def cache_stats(self) -> dict[str, Any]:
         """Hit/miss/eviction/generation-time counters of the cache.
 
@@ -554,6 +587,12 @@ class GeneratingExtension:
         actually ran the specializer — and, when an image store is
         attached, its counters under ``"store"``.  A warm start shows
         ``specializer_runs == 0`` with ``store.hits > 0``.
+
+        The returned dict is a **deep-copied snapshot**: every nested
+        dict (``stages``, ``store``, ``tiering``) is detached from the
+        extension's live state, so a concurrent reader — the
+        specialization server snapshots stats while worker threads are
+        mid-request — never observes a dict mutated under it.
         """
         stats = self.cache.stats()
         with self._spec_lock:
@@ -589,7 +628,10 @@ class GeneratingExtension:
                 "promotions": promotions,
                 "validation_failures": failures,
             }
-        return stats
+        # Every sub-dict above is already a fresh copy taken under its
+        # owning lock; the deepcopy is the guarantee that stays true as
+        # the structure grows (snapshot-safety is part of the contract).
+        return copy.deepcopy(stats)
 
     def cache_clear(self) -> None:
         self.cache.clear()

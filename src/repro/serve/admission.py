@@ -1,0 +1,128 @@
+"""Admission control for the specialization service.
+
+Untrusted callers hand the server arbitrary programs to specialize, and
+specialization is a fixpoint computation that need not terminate — the
+exact threat the PR-4 safety analyzer (size-change termination +
+quasi-termination + bloat bounds, :mod:`repro.analysis`) was built to
+rule out statically.  The admission controller runs that analyzer once
+per distinct program and caches the verdict by *program digest*, so a
+tenant re-submitting the same program (the common case — the whole point
+of the service is re-application) pays for the analysis exactly once per
+server lifetime.
+
+Policy is the server's: tenants marked trusted get ``"warn"`` semantics
+(findings are reported in the response, specialization proceeds under
+the runtime unfold/size budgets), untrusted tenants get ``"forbid"``
+(an ``ADMISSION_DENIED`` error frame, nothing is specialized).  Either
+way the runtime budgets stay on as the dynamic backstop.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Any, Iterable
+
+from repro import obs
+from repro.analysis import AnalysisReport, analyze_bta
+from repro.lang.ast import Program
+from repro.pe.bta import analyze as bta_analyze
+
+
+def program_admission_digest(
+    program_text: str,
+    signature: str,
+    goal: str | None,
+    memo_hints: Iterable[str] = (),
+    unfold_hints: Iterable[str] = (),
+) -> str:
+    """A stable identity for an admission question.
+
+    Hashes everything the analyzer's verdict depends on: the program
+    *text* (pre-parse — two textually equal submissions are the same
+    question), the binding-time signature, the goal, and the hints.
+    """
+    h = hashlib.sha256()
+    h.update(b"repro-admission-v1\x00")
+    for part in (program_text, signature, goal or ""):
+        h.update(part.encode("utf-8"))
+        h.update(b"\x00")
+    for hint in sorted(memo_hints):
+        h.update(b"m:" + hint.encode("utf-8") + b"\x00")
+    for hint in sorted(unfold_hints):
+        h.update(b"u:" + hint.encode("utf-8") + b"\x00")
+    return h.hexdigest()
+
+
+class AdmissionController:
+    """Runs the specialization-safety analyzer, caching verdicts.
+
+    The cache is keyed by :func:`program_admission_digest` and shared
+    across tenants — a verdict is a property of the (program, signature,
+    hints) triple, not of who asked.  Thread-safe; concurrent first
+    requests for one digest may race the analysis, which is harmless
+    (same verdict, last writer wins).
+    """
+
+    def __init__(self, max_entries: int = 1024):
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._verdicts: dict[str, AnalysisReport] = {}
+        self._analyzed = 0
+        self._hits = 0
+        self._denied = 0
+
+    def check(
+        self,
+        digest: str,
+        program: Program,
+        signature: str,
+        memo_hints: Iterable[str] = (),
+        unfold_hints: Iterable[str] = (),
+    ) -> AnalysisReport:
+        """The cached safety verdict for an already-parsed program."""
+        with self._lock:
+            report = self._verdicts.get(digest)
+            if report is not None:
+                self._hits += 1
+        if report is not None:
+            obs.count("serve.admission.cache_hit")
+            return report
+        with obs.span("serve.admission.analyze", digest=digest[:12]):
+            bta = bta_analyze(
+                program,
+                signature,
+                memo_hints=memo_hints,
+                unfold_hints=unfold_hints,
+            )
+            report = analyze_bta(bta)
+        obs.count("serve.admission.analyzed")
+        with self._lock:
+            if len(self._verdicts) >= self.max_entries:
+                # Verdict cache overflow: drop the oldest insertions.
+                # Correctness is unaffected — a dropped verdict is
+                # simply re-analyzed on its next request.
+                for stale in list(self._verdicts)[: self.max_entries // 2]:
+                    del self._verdicts[stale]
+            self._verdicts[digest] = report
+            self._analyzed += 1
+        return report
+
+    def verdict(self, digest: str) -> AnalysisReport | None:
+        """The cached verdict, if any (no analysis is triggered)."""
+        with self._lock:
+            return self._verdicts.get(digest)
+
+    def record_denial(self) -> None:
+        with self._lock:
+            self._denied += 1
+        obs.count("serve.admission.denied")
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "cached_verdicts": len(self._verdicts),
+                "analyzed": self._analyzed,
+                "cache_hits": self._hits,
+                "denied": self._denied,
+            }

@@ -1,0 +1,177 @@
+"""A blocking client for the specialization service.
+
+One :class:`SpecializationClient` owns one TCP connection and reuses it
+for any number of request/response exchanges (the protocol is
+self-delimiting, so there is no per-request connection cost).  Typed
+``error`` frames from the server surface as :class:`ServiceError` with
+the error ``code`` preserved; transport-level failures surface as
+:class:`ConnectionError`/:class:`FrameError`.
+
+    with SpecializationClient("127.0.0.1", port) as client:
+        result = client.specialize(POWER, "DS", statics=["10"],
+                                   dynamics=["2"])
+        assert result["value"] == "1024"
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Any
+
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    FrameError,
+    recv_frame,
+    send_frame,
+    specialize_request,
+)
+
+
+class ServiceError(Exception):
+    """A typed error frame from the server.
+
+    ``code`` is one of :data:`repro.serve.protocol.ERROR_CODES`;
+    ``retryable`` says whether backing off and retrying can help
+    (``BUSY``) or not (``ADMISSION_DENIED``, ``BUDGET_EXCEEDED``);
+    ``details`` carries any extra fields of the frame (e.g. the
+    analyzer ``findings`` of an admission denial).
+    """
+
+    def __init__(self, frame: dict[str, Any]):
+        self.code = frame.get("code", "INTERNAL")
+        self.retryable = bool(frame.get("retryable", False))
+        self.details = {
+            k: v for k, v in frame.items()
+            if k not in ("type", "v", "code", "message", "retryable")
+        }
+        super().__init__(f"{self.code}: {frame.get('message', '')}")
+
+
+class SpecializationClient:
+    """A blocking protocol client with connection reuse."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        timeout: float = 60.0,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.max_frame_bytes = max_frame_bytes
+        self._sock: socket.socket | None = None
+
+    # -- connection management -------------------------------------------------
+
+    def connect(self) -> "SpecializationClient":
+        if self._sock is None:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+        return self
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            finally:
+                self._sock = None
+
+    def __enter__(self) -> "SpecializationClient":
+        return self.connect()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+    # -- the request/response round trip ---------------------------------------
+
+    def request(self, frame: dict[str, Any]) -> dict[str, Any]:
+        """Send one frame, return the response frame.
+
+        Raises :class:`ServiceError` for typed ``error`` responses and
+        :class:`ConnectionError` when the server hangs up (e.g. after a
+        ``BAD_FRAME``, or a pool-full ``BUSY`` at accept time — that
+        one arrives as a :class:`ServiceError` first).
+        """
+        self.connect()
+        assert self._sock is not None
+        send_frame(self._sock, frame, max_bytes=self.max_frame_bytes)
+        response = recv_frame(self._sock, max_bytes=self.max_frame_bytes)
+        if response is None:
+            self.close()
+            raise ConnectionError(
+                "server closed the connection without a response"
+            )
+        if response.get("type") == "error":
+            raise ServiceError(response)
+        return response
+
+    # -- convenience wrappers ----------------------------------------------------
+
+    def specialize(
+        self,
+        program: str,
+        signature: str,
+        statics: list[str] | tuple[str, ...] = (),
+        **knobs: Any,
+    ) -> dict[str, Any]:
+        """Specialize ``program`` to ``statics``; the ``result`` frame.
+
+        ``knobs`` are the keyword fields of
+        :func:`repro.serve.protocol.specialize_request` (``tenant``,
+        ``goal``, ``dynamics``, ``backend``, budgets, ...).
+        """
+        return self.request(
+            specialize_request(program, signature, statics, **knobs)
+        )
+
+    def probe(
+        self,
+        program: str,
+        signature: str,
+        statics: list[str] | tuple[str, ...] = (),
+        **knobs: Any,
+    ) -> dict[str, Any]:
+        """Is this residual already cached?  Never generates anything
+        and never perturbs the tenant's cache recency."""
+        return self.request(
+            specialize_request(program, signature, statics, probe=True,
+                               **knobs)
+        )
+
+    def ping(self) -> bool:
+        return self.request({"type": "ping"}).get("type") == "pong"
+
+    def stats(self) -> dict[str, Any]:
+        """The server's stats snapshot (server/admission/tenant counters)."""
+        return self.request({"type": "stats"})["stats"]
+
+
+def wait_for_server(
+    host: str, port: int, timeout: float = 10.0, interval: float = 0.05
+) -> None:
+    """Block until a server answers ``ping`` at (host, port).
+
+    For scripts (and CI) that start ``python -m repro serve`` as a
+    separate process and must not race its bind/listen.  Raises
+    :class:`ConnectionError` when the deadline passes.
+    """
+    deadline = time.monotonic() + timeout
+    last: Exception | None = None
+    while time.monotonic() < deadline:
+        try:
+            with SpecializationClient(host, port, timeout=interval * 10) as c:
+                if c.ping():
+                    return
+        except (OSError, FrameError, ServiceError) as exc:
+            last = exc
+        time.sleep(interval)
+    raise ConnectionError(
+        f"no specialization server answered at {host}:{port}"
+        f" within {timeout}s" + (f" (last error: {last})" if last else "")
+    )

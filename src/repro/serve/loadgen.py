@@ -1,0 +1,286 @@
+"""A load generator for the specialization service.
+
+Drives N concurrent clients (real sockets, real frames — the same path
+production callers take) against a server and reports latency
+percentiles and throughput.  The request mix is the §7 benchmark
+workloads by default: each client repeatedly asks the server to
+specialize the MIXWELL and LAZY interpreters to their §7 input
+programs.
+
+Cold/warm split: each client's *first* request per workload is a cold
+sample — it either runs the specializer or waits on the single-flight
+leader doing so (the stampede is the point: all clients start together
+behind a barrier) — and every later request is a warm sample served
+from the tenant's residual cache.  The fig10 claim is that warm p50 is
+a small constant (freeze + L1 lookup + one frame round trip) while cold
+p50 carries BTA + specialization, so the gap is the service-side
+restatement of the paper's amortization story.
+
+Used by ``python -m repro loadgen`` and
+``benchmarks/test_fig10_service_latency.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Iterable
+
+from repro.serve.client import ServiceError, SpecializationClient
+from repro.serve.protocol import FrameError
+
+
+def builtin_workloads() -> dict[str, dict[str, Any]]:
+    """The §7 workload request payloads, keyed by workload name."""
+    from repro.workloads import (
+        LAZY_GOAL,
+        LAZY_PRIMES_PROGRAM,
+        LAZY_SIGNATURE,
+        LAZY_SOURCE,
+        MIXWELL_GOAL,
+        MIXWELL_SIGNATURE,
+        MIXWELL_SOURCE,
+        MIXWELL_TM_PROGRAM,
+    )
+
+    return {
+        "mixwell": {
+            "program": MIXWELL_SOURCE,
+            "signature": MIXWELL_SIGNATURE,
+            "goal": MIXWELL_GOAL,
+            "statics": [MIXWELL_TM_PROGRAM],
+        },
+        "lazy": {
+            "program": LAZY_SOURCE,
+            "signature": LAZY_SIGNATURE,
+            "goal": LAZY_GOAL,
+            "statics": [LAZY_PRIMES_PROGRAM],
+        },
+    }
+
+
+def percentile(sorted_values: list[float], p: float) -> float:
+    """Nearest-rank percentile of an ascending list (p in [0, 100])."""
+    if not sorted_values:
+        return float("nan")
+    rank = max(
+        0, min(len(sorted_values) - 1,
+               int(round(p / 100.0 * len(sorted_values) + 0.5)) - 1)
+    )
+    return sorted_values[rank]
+
+
+def _latency_summary(samples_ms: list[float]) -> dict[str, Any]:
+    ordered = sorted(samples_ms)
+    return {
+        "n": len(ordered),
+        "p50": percentile(ordered, 50),
+        "p90": percentile(ordered, 90),
+        "p99": percentile(ordered, 99),
+        "min": ordered[0] if ordered else float("nan"),
+        "max": ordered[-1] if ordered else float("nan"),
+    }
+
+
+def run_load(
+    host: str,
+    port: int,
+    clients: int = 10,
+    requests: int = 16,
+    workloads: dict[str, dict[str, Any]] | None = None,
+    tenant: str = "loadgen",
+    timeout: float = 120.0,
+    think_ms: float = 0.0,
+) -> dict[str, Any]:
+    """Run the load and return the report dict.
+
+    ``requests`` is per client; every client cycles round-robin through
+    the workloads, all under one tenant (so the cold work is coalesced
+    across clients by the single-flight cache — the report's
+    ``coalescing`` section proves it from server-side counters).
+
+    ``think_ms`` is a per-client pause between requests.  Zero is a
+    closed-loop saturation test (throughput mode); a small think time
+    measures request latency without the clients themselves saturating
+    the process (latency mode — what fig10 reports).
+    """
+    if workloads is None:
+        workloads = builtin_workloads()
+    if not workloads:
+        raise ValueError("loadgen needs at least one workload")
+    names = list(workloads)
+    barrier = threading.Barrier(clients)
+    samples: list[tuple[str, float, str | None, str | None, bool]] = []
+    protocol_errors = [0]
+    merge_lock = threading.Lock()
+
+    def client_body(client_index: int) -> None:
+        local: list[tuple[str, float, str | None, str | None, bool]] = []
+        failures = 0
+        try:
+            with SpecializationClient(host, port, timeout=timeout) as c:
+                barrier.wait(timeout=timeout)
+                for i in range(requests):
+                    name = names[i % len(names)]
+                    payload = workloads[name]
+                    first = i < len(names)
+                    t0 = time.perf_counter()
+                    try:
+                        result = c.specialize(
+                            payload["program"],
+                            payload["signature"],
+                            payload.get("statics", ()),
+                            tenant=tenant,
+                            goal=payload.get("goal"),
+                            dynamics=payload.get("dynamics"),
+                            want_residual=False,
+                        )
+                        latency = time.perf_counter() - t0
+                        local.append((
+                            name, latency, result.get("provenance"),
+                            None, first,
+                        ))
+                    except ServiceError as exc:
+                        latency = time.perf_counter() - t0
+                        local.append((name, latency, None, exc.code, first))
+                    if think_ms > 0 and i + 1 < requests:
+                        time.sleep(think_ms / 1e3)
+        except (FrameError, ConnectionError, OSError, threading.BrokenBarrierError):
+            failures = 1
+        with merge_lock:
+            samples.extend(local)
+            protocol_errors[0] += failures
+
+    threads = [
+        threading.Thread(target=client_body, args=(i,), daemon=True)
+        for i in range(clients)
+    ]
+    t_start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=timeout)
+    duration = time.perf_counter() - t_start
+
+    ok = [s for s in samples if s[3] is None]
+    errors: dict[str, int] = {}
+    for _, _, _, code, _ in samples:
+        if code is not None:
+            errors[code] = errors.get(code, 0) + 1
+
+    per_workload: dict[str, Any] = {}
+    all_cold: list[float] = []
+    all_warm: list[float] = []
+    for name in names:
+        cold = [s[1] * 1e3 for s in ok if s[0] == name and s[4]]
+        warm = [s[1] * 1e3 for s in ok if s[0] == name and not s[4]]
+        provenance: dict[str, int] = {}
+        for _, _, prov, _, _ in (s for s in ok if s[0] == name):
+            provenance[prov or "?"] = provenance.get(prov or "?", 0) + 1
+        all_cold.extend(cold)
+        all_warm.extend(warm)
+        entry = {
+            "requests": len(cold) + len(warm),
+            "provenance": provenance,
+            "cold_ms": _latency_summary(cold),
+            "warm_ms": _latency_summary(warm),
+        }
+        if cold and warm and entry["warm_ms"]["p50"] > 0:
+            entry["p50_speedup"] = (
+                entry["cold_ms"]["p50"] / entry["warm_ms"]["p50"]
+            )
+        per_workload[name] = entry
+
+    report: dict[str, Any] = {
+        "host": host,
+        "port": port,
+        "tenant": tenant,
+        "clients": clients,
+        "requests_per_client": requests,
+        "total_requests": len(samples),
+        "ok": len(ok),
+        "errors": errors,
+        "protocol_errors": protocol_errors[0],
+        "duration_seconds": duration,
+        "throughput_rps": (len(ok) / duration) if duration > 0 else 0.0,
+        "workloads": per_workload,
+        "overall": {
+            "cold_ms": _latency_summary(all_cold),
+            "warm_ms": _latency_summary(all_warm),
+        },
+    }
+
+    # Server-side ground truth for the coalescing claim: across the
+    # whole run, the tenant's extensions must have run the specializer
+    # once per distinct (workload, statics) key — not once per client.
+    try:
+        with SpecializationClient(host, port, timeout=timeout) as c:
+            stats = c.stats()
+        tstats = stats.get("tenants", {}).get(tenant, {})
+        specializer_runs = sum(
+            e["cache"].get("specializer_runs", 0)
+            for e in tstats.get("extensions", [])
+        )
+        report["coalescing"] = {
+            "distinct_keys": len(names),
+            "specializer_runs": specializer_runs,
+            "coalesced": specializer_runs <= len(names),
+        }
+        report["server"] = {
+            "counters": stats.get("counters", {}),
+            "admission": stats.get("admission", {}),
+        }
+    except (ServiceError, FrameError, ConnectionError, OSError):
+        report["coalescing"] = None
+    return report
+
+
+def render_report(report: dict[str, Any]) -> str:
+    """A human-readable rendering of :func:`run_load`'s report."""
+    lines = [
+        f"loadgen: {report['clients']} client(s) x"
+        f" {report['requests_per_client']} request(s)"
+        f" against {report['host']}:{report['port']}"
+        f" (tenant {report['tenant']!r})",
+        f"  ok {report['ok']}/{report['total_requests']}"
+        f"  errors {sum(report['errors'].values())}"
+        f"  protocol errors {report['protocol_errors']}"
+        f"  throughput {report['throughput_rps']:.1f} req/s"
+        f"  in {report['duration_seconds']:.2f}s",
+    ]
+    for name, entry in report["workloads"].items():
+        cold, warm = entry["cold_ms"], entry["warm_ms"]
+        prov = ", ".join(
+            f"{k}:{v}" for k, v in sorted(entry["provenance"].items())
+        )
+        lines.append(
+            f"  {name:<10} cold p50 {cold['p50']:8.2f} ms (n={cold['n']})"
+            f"  warm p50 {warm['p50']:8.2f} ms"
+            f" p99 {warm['p99']:8.2f} ms (n={warm['n']})"
+            + (f"  speedup {entry['p50_speedup']:.1f}x"
+               if "p50_speedup" in entry else "")
+        )
+        lines.append(f"  {'':<10} provenance: {prov}")
+    coalescing = report.get("coalescing")
+    if coalescing:
+        verdict = "ok" if coalescing["coalesced"] else "NOT COALESCED"
+        lines.append(
+            f"  coalescing: {coalescing['specializer_runs']} specializer"
+            f" run(s) for {coalescing['distinct_keys']} distinct key(s)"
+            f" [{verdict}]"
+        )
+    return "\n".join(lines)
+
+
+def select_workloads(names: Iterable[str]) -> dict[str, dict[str, Any]]:
+    """Subset of the builtin workloads by name (for ``--workload``)."""
+    available = builtin_workloads()
+    chosen = {}
+    for name in names:
+        if name not in available:
+            raise ValueError(
+                f"unknown workload {name!r}"
+                f" (available: {', '.join(sorted(available))})"
+            )
+        chosen[name] = available[name]
+    return chosen

@@ -722,3 +722,58 @@ class TestErrorPaths:
             ["run", power_file, "(1 2", "--goal", "power"]
         ) == 1
         assert capsys.readouterr().err.startswith("error:")
+
+
+class TestImageLsErrors:
+    def test_missing_store_dir_is_exit_1_with_message(self, tmp_path, capsys):
+        missing = str(tmp_path / "no-such-store")
+        assert main(["image", "ls", "--store", missing]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+        # and the command did not invent an empty store on disk
+        assert not (tmp_path / "no-such-store").exists()
+
+    def test_store_path_that_is_a_file(self, tmp_path, capsys):
+        bogus = tmp_path / "not-a-dir"
+        bogus.write_text("")
+        assert main(["image", "ls", "--store", str(bogus)]) == 1
+        assert capsys.readouterr().err.startswith("error:")
+
+
+class TestServeCommands:
+    def test_loadgen_in_process_json(self, tmp_path, capsys):
+        import json
+
+        code = main(
+            [
+                "loadgen", "--clients", "2", "--requests", "4",
+                "--workload", "lazy",
+                "--store", str(tmp_path / "store"), "--json",
+            ]
+        )
+        report = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert report["ok"] == 8
+        assert report["errors"] == {}
+        assert report["protocol_errors"] == 0
+        assert report["coalescing"]["coalesced"] is True
+        lazy = report["workloads"]["lazy"]
+        assert lazy["provenance"].get("miss", 0) == 1
+        assert lazy["cold_ms"]["n"] == 2
+        assert lazy["warm_ms"]["n"] == 6
+
+    def test_loadgen_text_report(self, capsys):
+        code = main(
+            ["loadgen", "--clients", "2", "--requests", "2",
+             "--workload", "mixwell"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "loadgen: 2 client(s) x 2 request(s)" in out
+        assert "coalescing:" in out
+
+    def test_loadgen_rejects_unknown_workload_mix(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["loadgen", "--workload", "nope"])
+        assert exc_info.value.code == 2

@@ -74,6 +74,40 @@ class TestResidualCacheUnit:
         result, hit = cache.get_or_generate("k", lambda: "ok")
         assert (result, hit) == ("ok", False)
 
+    def test_peek_does_not_promote_lru_recency(self):
+        # A monitor polling the cache must not keep polled keys warm:
+        # after peeking the LRU entry, a capacity-exceeding insert
+        # still evicts that entry, not a younger one.
+        cache = ResidualCache(2)
+        cache.get_or_generate("old", lambda: "O")
+        cache.get_or_generate("young", lambda: "Y")
+        assert cache.peek("old") == "O"       # no recency update
+        cache.get_or_generate("new", lambda: "N")  # evicts "old"
+        assert cache.peek("old") is None
+        assert cache.peek("young") == "Y"
+        assert cache.peek("new") == "N"
+
+    def test_peek_does_not_touch_hit_miss_counters(self):
+        cache = ResidualCache(2)
+        cache.get_or_generate("k", lambda: "V")
+        before = cache.stats()
+        cache.peek("k")
+        cache.peek("absent")
+        after = cache.stats()
+        assert (after["hits"], after["misses"]) == (
+            before["hits"], before["misses"]
+        )
+
+    def test_lookup_by_contrast_does_promote(self):
+        # The counterpart behaviour peek is defined against.
+        cache = ResidualCache(2)
+        cache.get_or_generate("old", lambda: "O")
+        cache.get_or_generate("young", lambda: "Y")
+        assert cache.lookup("old") == "O"     # promotes "old"
+        cache.get_or_generate("new", lambda: "N")  # evicts "young"
+        assert cache.peek("old") == "O"
+        assert cache.peek("young") is None
+
     def test_single_flight_coalesces_concurrent_misses(self):
         cache = ResidualCache(4)
         calls = []
@@ -317,6 +351,80 @@ class TestRecursionLimitFloor:
 
 
 # -- per-call stats views (shared-state race regression) ------------------------
+
+
+class TestExtensionPeek:
+    def test_peek_reports_warmth_without_generating(self):
+        gen = GeneratingExtension(POWER, "DS", goal="power")
+        assert gen.peek([5]) is None
+        residual = gen.to_object_code([5])
+        peeked = gen.peek([5])
+        assert peeked is not None
+        assert peeked.machine is residual.machine
+        assert gen.cache_stats()["misses"] == 1  # peek generated nothing
+
+    def test_peek_respects_key_dimensions(self):
+        gen = GeneratingExtension(POWER, "DS", goal="power")
+        gen.to_object_code([5])
+        assert gen.peek([5], dif_strategy="join") is None
+        assert gen.peek([5], kind="source") is None
+        assert gen.peek([6]) is None
+
+    def test_peek_on_disabled_cache(self):
+        gen = GeneratingExtension(POWER, "DS", goal="power", cache_size=0)
+        gen.to_object_code([5])
+        assert gen.peek([5]) is None
+
+
+class TestCacheStatsSnapshot:
+    def test_snapshot_is_decoupled_from_later_activity(self):
+        gen = GeneratingExtension(POWER, "DS", goal="power")
+        gen.to_object_code([5])
+        snapshot = gen.cache_stats()
+        stages_before = {
+            name: dict(entry)
+            for name, entry in snapshot["stages"].items()
+        }
+        gen.to_object_code([6])
+        gen.to_object_code([7])
+        assert snapshot["misses"] == 1
+        assert snapshot["stages"] == stages_before
+
+    def test_two_thread_stats_iteration_race(self):
+        # Regression: ``cache_stats`` used to hand out references to
+        # the live per-stage dicts, so a reader iterating the stages
+        # while another thread specialized raced the writer (mutated
+        # values mid-iteration; ``RuntimeError: dictionary changed size
+        # during iteration`` once a new stage appeared).  The snapshot
+        # is now a deep copy taken under the stats lock.
+        import json
+
+        gen = GeneratingExtension(POWER, "DS", goal="power")
+        gen.to_object_code([1])
+        stop = threading.Event()
+        failures = []
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    json.dumps(gen.cache_stats(), default=str)
+                except RuntimeError as exc:  # pragma: no cover - the bug
+                    failures.append(exc)
+                    return
+
+        def writer():
+            for n in range(2, 40):
+                gen.to_object_code([n])
+                gen.to_source([n])
+
+        t_reader = threading.Thread(target=reader)
+        t_writer = threading.Thread(target=writer)
+        t_reader.start()
+        t_writer.start()
+        t_writer.join(60)
+        stop.set()
+        t_reader.join(10)
+        assert not failures
 
 
 class TestPerCallStatsViews:
