@@ -21,6 +21,13 @@ annotate FILE --sig SIG [--goal NAME]
     Print the binding-time-annotated program (ACS notation: ``lift``,
     ``if^D``, ``lambda^D``, ``memo-call``).
 
+bta [FILE --sig SIG] [--builtin all|examples|workloads] [--json]
+    Print the computed binding-time division: every function variant
+    with its per-variant S/D parameter signature, unfold-vs-memoize
+    classification, per-call-site unfold/memo decisions, and lift
+    sites.  ``--bta mono`` shows the monovariant join instead.  Exit
+    status 1 on any congruence violation (the CI self-gate).
+
 disasm FILE [--compiler auto|stock] [--verify] [--cfg] [--json]
     Compile FILE and print the disassembly of every template, with block
     labels at jump targets.  ``--verify`` appends each template's
@@ -37,11 +44,13 @@ opt [FILE [--sig SIG]] [--builtin all|examples|workloads] [--json]
     executed against its unoptimized twin on both dispatch loops.  Exit
     status 1 on any violation or semantic mismatch (the CI self-gate).
 
-lint FILE [--sig SIG] [--goal NAME] [--json]
-    Static checks: bytecode-verify every template FILE compiles to (both
-    backends), and — when ``--sig`` is given — re-check the BTA's output
-    with the congruence linter.  Exit status 1 if any error is found;
-    ``--json`` emits the findings as a JSON object.
+lint [FILE [--sig SIG]] [--builtin all|examples|workloads] [--json]
+    Static checks: bytecode-verify every template each target compiles
+    to (both backends), and — for targets with a signature — re-check
+    the BTA's output with the variant-aware congruence linter.
+    ``--division`` appends the division-quality report (polyvariant
+    division vs. the monovariant baseline).  Exit status 1 if any error
+    is found; ``--json`` emits the findings as a JSON object.
 
 analyze [FILE --sig SIG] [--builtin all|examples|workloads] [--json]
     Specialization-safety analysis (termination + code bloat): prove
@@ -512,11 +521,7 @@ def cmd_opt(args: argparse.Namespace) -> int:
     if plain_file:
         args.file = plain_file
     if not spec_targets and not plain_file:
-        print(
-            "error: opt needs FILE [--sig SIG], and/or --builtin",
-            file=sys.stderr,
-        )
-        return 2
+        raise ValueError("opt needs FILE [--sig SIG], and/or --builtin")
 
     if args.superinstructions:
         return _cmd_opt_superinstructions(args, spec_targets, plain_file)
@@ -647,54 +652,81 @@ def cmd_lint(args: argparse.Namespace) -> int:
     from repro.pe.check import check_bta
     from repro.vm.verify import check_template
 
-    program = _load(args.file, args.goal, args.prelude)
+    targets = _gather_targets(args, sig_optional=True)
+    multi = len(targets) > 1
     errors = 0
     warnings = 0
     bytecode_findings = []
-    for backend in ("stock", "auto"):
-        compiled = compile_program(program, compiler=backend, verify=False)
-        for name, template in compiled.templates.items():
-            report = check_template(template)
-            if report.violations:
-                bytecode_findings.append(
-                    {
+    bta_findings = []
+    division_reports = []
+    linted_sig = False
+    for label, program, sig, goal in targets:
+        for backend in ("stock", "auto"):
+            compiled = compile_program(program, compiler=backend, verify=False)
+            for name, template in compiled.templates.items():
+                report = check_template(template)
+                if report.violations:
+                    finding = {
                         "backend": backend,
                         "template": str(name),
                         "violations": [str(v) for v in report.violations],
                         "pretty": report.pretty(),
                     }
-                )
-            errors += len(report.errors)
-            warnings += len(report.warnings)
-    bta_findings = []
-    if args.sig:
+                    if multi:
+                        finding["target"] = label
+                    bytecode_findings.append(finding)
+                errors += len(report.errors)
+                warnings += len(report.warnings)
+        if not sig:
+            continue
+        linted_sig = True
+        memo = args.memo or () if label == args.file else ()
+        unfold = args.unfold or () if label == args.file else ()
         result = analyze(
-            program,
-            args.sig,
-            memo_hints=args.memo or (),
-            unfold_hints=args.unfold or (),
+            program, sig, memo_hints=memo, unfold_hints=unfold, bta=args.bta
         )
         congruence = check_bta(result)
-        bta_findings = [str(v) for v in congruence]
+        prefix = f"{label}: " if multi else ""
+        bta_findings.extend(prefix + str(v) for v in congruence)
         errors += len(congruence)
+        if args.division and args.bta == "poly":
+            from repro.analysis import analyze_division
+
+            division_reports.append((
+                label,
+                analyze_division(
+                    program, sig, memo_hints=memo, unfold_hints=unfold
+                ),
+            ))
     if args.json:
-        print(json.dumps({
+        payload = {
             "clean": errors == 0,
             "errors": errors,
             "warnings": warnings,
             "bytecode": [
-                {k: f[k] for k in ("backend", "template", "violations")}
+                {k: f[k] for k in f if k != "pretty"}
                 for f in bytecode_findings
             ],
             "bta": bta_findings,
-        }, indent=2))
+        }
+        if division_reports:
+            payload["division"] = {
+                label: report.to_json()
+                for label, report in division_reports
+            }
+        print(json.dumps(payload, indent=2))
         return 1 if errors else 0
     for f in bytecode_findings:
-        print(f";; [{f['backend']}] template {f['template']}:")
+        where = f" {f['target']}" if "target" in f else ""
+        print(f";; [{f['backend']}]{where} template {f['template']}:")
         print(f["pretty"])
     for v in bta_findings:
         print(f";; [bta] {v}")
-    noun = "signature and bytecode" if args.sig else "bytecode"
+    for label, report in division_reports:
+        print(f";; [division] {label}:")
+        for line in str(report).splitlines():
+            print(";;   " + line)
+    noun = "signature and bytecode" if linted_sig else "bytecode"
     if errors:
         print(f";; lint: {errors} error(s), {warnings} warning(s)")
         return 1
@@ -755,28 +787,15 @@ def cmd_analyze(args: argparse.Namespace) -> int:
 
     from repro.analysis import analyze_program
 
-    targets = []
-    if args.builtin:
-        targets.extend(_builtin_targets(args.builtin))
-    if args.file:
-        if not args.sig:
-            print("error: analyze FILE needs --sig", file=sys.stderr)
-            return 2
-        program = _load(args.file, args.goal, args.prelude)
-        targets.append((args.file, program, args.sig, None))
-    if not targets:
-        print(
-            "error: analyze needs FILE --sig SIG, and/or --builtin",
-            file=sys.stderr,
-        )
-        return 2
+    targets = _gather_targets(args)
     reports = []
     total = 0
     for label, program, sig, goal in targets:
         memo = args.memo or () if label == args.file else ()
         unfold = args.unfold or () if label == args.file else ()
         report = analyze_program(
-            program, sig, goal=goal, memo_hints=memo, unfold_hints=unfold
+            program, sig, goal=goal, memo_hints=memo, unfold_hints=unfold,
+            bta=args.bta, with_division=args.division,
         )
         reports.append((label, report))
         total += len(report.findings)
@@ -803,6 +822,81 @@ def cmd_analyze(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bta(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis.division import lift_sites
+    from repro.pe.check import check_bta
+
+    targets = _gather_targets(args)
+    entries = {}
+    violations_total = 0
+    for label, program, sig, goal in targets:
+        memo = args.memo or () if label == args.file else ()
+        unfold = args.unfold or () if label == args.file else ()
+        result = analyze(
+            program, sig, memo_hints=memo, unfold_hints=unfold,
+            bta=args.bta, max_variants=args.max_variants,
+        )
+        violations = check_bta(result)
+        violations_total += len(violations)
+        variants = []
+        for d in result.annotated.defs:
+            info = result.variants.get(d.name)
+            variants.append({
+                "name": str(d.name),
+                "display": info.display if info else str(d.name),
+                "origin": str(result.origin_of(d.name)),
+                "signature": "".join(bt.value for bt in d.bts),
+                "classification": "memo" if d.residual else "unfold",
+                "call_sites": list(info.call_sites) if info else [],
+                "lift_sites": list(lift_sites(d.body)),
+                "decisions": [
+                    {"path": path, "callee": str(callee), "decision": dec}
+                    for path, callee, dec in result.decisions.get(d.name, ())
+                ],
+            })
+        entries[label] = {
+            "mode": result.mode,
+            "signature": sig,
+            "widened": [str(o) for o in sorted(result.widened, key=str)],
+            "variants": variants,
+            "congruence_violations": [str(v) for v in violations],
+        }
+    if args.json:
+        print(json.dumps(
+            {"clean": violations_total == 0, "programs": entries}, indent=2
+        ))
+        return 1 if violations_total else 0
+    for label, entry in entries.items():
+        widened = (
+            f", widened: {', '.join(entry['widened'])}"
+            if entry["widened"] else ""
+        )
+        print(
+            f";; {label} [{entry['signature']}] {entry['mode']}:"
+            f" {len(entry['variants'])} definition(s){widened}"
+        )
+        for v in entry["variants"]:
+            print(f";;   {v['display']} [{v['signature']}]"
+                  f" ({v['classification']})")
+            for d in v["decisions"]:
+                print(f";;     call {d['callee']} at {d['path']}:"
+                      f" {d['decision']}")
+            for site in v["lift_sites"]:
+                print(f";;     lift at {site}")
+            for site in v["call_sites"]:
+                print(f";;     variant from {site}")
+        for vio in entry["congruence_violations"]:
+            print(f";;   violation: {vio}")
+        print()
+    if violations_total:
+        print(f";; bta: {violations_total} congruence violation(s)")
+        return 1
+    print(f";; bta: {len(entries)} program(s), congruent")
+    return 0
+
+
 # Sample static/dynamic arguments (Scheme data) for the built-in
 # targets, so ``trace``/``profile --builtin`` exercise the whole
 # pipeline end to end, including running the residual code.
@@ -819,48 +913,71 @@ _BUILTIN_RUN_ARGS = {
 }
 
 
-def _runnable_targets(args: argparse.Namespace) -> list:
-    """(label, program, sig, goal, statics, dynamics) for trace/profile.
+def _builtin_run_args(label: str) -> tuple:
+    """Sample ``(statics, dynamics)`` run arguments for a builtin target."""
+    if label in _BUILTIN_RUN_ARGS:
+        statics_raw, dynamics_raw = _BUILTIN_RUN_ARGS[label]
+        return _data(statics_raw), _data(dynamics_raw)
+    if label == "workload:mixwell":
+        from repro.workloads import mixwell_tm_program
 
-    Static/dynamic arguments come from ``--static``/``--dynamic`` for a
-    FILE target and from :data:`_BUILTIN_RUN_ARGS` (or the §7 workload
-    inputs) for ``--builtin`` targets.
+        return [mixwell_tm_program()], [datum_to_value([1, 0, 1, 1, 0, 1])]
+    if label == "workload:lazy":
+        from repro.workloads import lazy_primes_program
+
+        return [lazy_primes_program()], [4]
+    # pragma: no cover - new builtin without run args
+    raise ValueError(f"no sample run arguments for builtin {label}")
+
+
+def _gather_targets(
+    args: argparse.Namespace,
+    runnable: bool = False,
+    sig_optional: bool = False,
+) -> list:
+    """Sample-program loading shared by every multi-target subcommand.
+
+    ``lint``/``analyze``/``bta``/``opt``/``trace``/``profile`` all accept
+    ``--builtin all|examples|workloads`` targets plus an optional FILE;
+    this is their one loader with one error path: every usage problem
+    (missing FILE and ``--builtin``, FILE without a required ``--sig``)
+    raises :class:`ValueError`, which :func:`main` prints as
+    ``error: ...`` and turns into exit status 1 — never a traceback.
+
+    Entries are ``(label, program, sig, goal)`` tuples, extended with
+    ``(statics, dynamics)`` sample run arguments when ``runnable``
+    (from ``--static``/``--dynamic`` for a FILE target, from the baked-in
+    sample inputs for builtin targets).  Programs are always parsed —
+    embedded example sources are run through the parser here.
     """
     targets = []
-    if args.builtin:
+    if getattr(args, "builtin", None):
         for label, program, sig, goal in _builtin_targets(args.builtin):
-            if label in _BUILTIN_RUN_ARGS:
-                statics_raw, dynamics_raw = _BUILTIN_RUN_ARGS[label]
-                statics = _data(statics_raw)
-                dynamics = _data(dynamics_raw)
-            elif label == "workload:mixwell":
-                from repro.workloads import mixwell_tm_program
-
-                statics = [mixwell_tm_program()]
-                dynamics = [datum_to_value([1, 0, 1, 1, 0, 1])]
-            elif label == "workload:lazy":
-                from repro.workloads import lazy_primes_program
-
-                statics = [lazy_primes_program()]
-                dynamics = [4]
-            else:  # pragma: no cover - new builtin without run args
-                raise ValueError(
-                    f"no sample run arguments for builtin {label}"
-                )
-            targets.append((label, program, sig, goal, statics, dynamics))
-    if args.file:
-        if not args.sig:
+            if isinstance(program, str):
+                program = parse_program(program, goal=goal)
+            entry = (label, program, sig, goal)
+            if runnable:
+                entry += _builtin_run_args(label)
+            targets.append(entry)
+    if getattr(args, "file", None):
+        if not args.sig and not sig_optional:
             raise ValueError(f"{args.command} FILE needs --sig")
         program = _load(args.file, args.goal, args.prelude)
-        targets.append((
-            args.file, program, args.sig, None,
-            _data(args.static or []), _data(args.dynamic or []),
-        ))
+        entry = (args.file, program, args.sig, None)
+        if runnable:
+            entry += (_data(args.static or []), _data(args.dynamic or []))
+        targets.append(entry)
     if not targets:
+        sig = " [--sig SIG]" if sig_optional else " --sig SIG"
         raise ValueError(
-            f"{args.command} needs FILE --sig SIG, and/or --builtin"
+            f"{args.command} needs FILE{sig}, and/or --builtin"
         )
     return targets
+
+
+def _runnable_targets(args: argparse.Namespace) -> list:
+    """(label, program, sig, goal, statics, dynamics) for trace/profile."""
+    return _gather_targets(args, runnable=True)
 
 
 def cmd_trace(args: argparse.Namespace) -> int:
@@ -1372,10 +1489,28 @@ def main(argv: list[str] | None = None) -> int:
     p = sub.add_parser(
         "lint", help="bytecode-verify templates; lint BTA output with --sig"
     )
-    common(p, needs_sig=False)
+    p.add_argument("file", nargs="?", help="Scheme source file")
+    p.add_argument("--goal", help="goal function name")
+    p.add_argument(
+        "--prelude", action="store_true", help="splice in the prelude"
+    )
     p.add_argument("--sig", help="binding-time signature, e.g. SD")
     p.add_argument("--memo", action="append", help="memoization hint")
     p.add_argument("--unfold", action="append", help="unfold hint")
+    p.add_argument(
+        "--bta", default="poly", choices=("mono", "poly"),
+        help="binding-time discipline to lint under (default: poly)",
+    )
+    p.add_argument(
+        "--builtin", choices=("all", "examples", "workloads"),
+        help="also lint the bundled example programs and/or the §7"
+        " benchmark workloads (the CI self-gate)",
+    )
+    p.add_argument(
+        "--division", action="store_true",
+        help="append the division-quality report (polyvariant division"
+        " vs. the monovariant baseline) for each signed target",
+    )
     p.add_argument(
         "--json", action="store_true",
         help="emit the findings as a JSON object",
@@ -1404,10 +1539,51 @@ def main(argv: list[str] | None = None) -> int:
         help="print per-specialization-point code-bloat metrics",
     )
     p.add_argument(
+        "--bta", default="poly", choices=("mono", "poly"),
+        help="binding-time discipline to analyze under (default: poly)",
+    )
+    p.add_argument(
+        "--division", action="store_true",
+        help="append the division-quality report (polyvariant division"
+        " vs. the monovariant baseline)",
+    )
+    p.add_argument(
         "--json", action="store_true",
         help="emit reports as a JSON object",
     )
     p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser(
+        "bta",
+        help="print the binding-time division: variants, unfold/memo"
+        " decisions, lift sites",
+    )
+    p.add_argument("file", nargs="?", help="Scheme source file")
+    p.add_argument("--goal", help="goal function name")
+    p.add_argument(
+        "--prelude", action="store_true", help="splice in the prelude"
+    )
+    p.add_argument("--sig", help="binding-time signature, e.g. SD")
+    p.add_argument("--memo", action="append", help="memoization hint")
+    p.add_argument("--unfold", action="append", help="unfold hint")
+    p.add_argument(
+        "--bta", default="poly", choices=("mono", "poly"),
+        help="binding-time discipline (default: poly)",
+    )
+    p.add_argument(
+        "--max-variants", type=int, default=8, dest="max_variants",
+        help="polyvariant fan-out cap per function (default: 8)",
+    )
+    p.add_argument(
+        "--builtin", choices=("all", "examples", "workloads"),
+        help="also divide the bundled example programs and/or the §7"
+        " benchmark workloads (the CI self-gate)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="emit the division as a JSON object",
+    )
+    p.set_defaults(fn=cmd_bta)
 
     def observability(p: argparse.ArgumentParser) -> None:
         p.add_argument("file", nargs="?", help="Scheme source file")

@@ -28,6 +28,12 @@ from repro.lang.ast import Program
 
 from repro.analysis.bloat import check_bloat
 from repro.analysis.callgraph import CallGraph, build_callgraph
+from repro.analysis.division import (
+    DivisionReport,
+    VariantQuality,
+    analyze_division,
+    compare_divisions,
+)
 from repro.analysis.report import (
     AnalysisFinding,
     AnalysisKind,
@@ -41,22 +47,33 @@ __all__ = [
     "AnalysisKind",
     "AnalysisReport",
     "CallGraph",
+    "DivisionReport",
     "UnsafeProgramError",
+    "VariantQuality",
     "analyze_bta",
+    "analyze_division",
     "analyze_program",
     "build_callgraph",
+    "compare_divisions",
 ]
 
 
 @traced("analysis.safety")
-def analyze_bta(bta) -> AnalysisReport:
-    """Run both analyses on an already-computed BTA result."""
+def analyze_bta(bta, division: "DivisionReport | None" = None) -> AnalysisReport:
+    """Run both analyses on an already-computed BTA result.
+
+    Under a polyvariant result the call graph — and therefore the
+    size-change termination analysis — covers every function *variant*.
+    ``division`` optionally attaches a precomputed division-quality
+    report as a diagnostic.
+    """
     graph = build_callgraph(bta)
     findings, memo_failures = check_termination(graph)
     bloat_findings, metrics = check_bloat(graph, memo_failures)
     return AnalysisReport(
         findings=tuple(findings) + tuple(bloat_findings),
         metrics=metrics,
+        division=division,
     )
 
 
@@ -66,14 +83,35 @@ def analyze_program(
     goal: str | None = None,
     memo_hints: Iterable[str] = (),
     unfold_hints: Iterable[str] = (),
+    bta: str = "poly",
+    with_division: bool = False,
 ) -> AnalysisReport:
-    """BTA a program and run the specialization-safety analyses on it."""
+    """BTA a program and run the specialization-safety analyses on it.
+
+    ``with_division`` additionally runs the monovariant baseline and
+    attaches the :class:`DivisionReport` quality comparison (only
+    meaningful with ``bta="poly"``).
+    """
     from repro.lang.parser import parse_program
     from repro.pe.bta import analyze
 
     if isinstance(program, str):
         program = parse_program(program, goal=goal)
-    bta = analyze(
-        program, signature, memo_hints=memo_hints, unfold_hints=unfold_hints
+    result = analyze(
+        program,
+        signature,
+        memo_hints=memo_hints,
+        unfold_hints=unfold_hints,
+        bta=bta,
     )
-    return analyze_bta(bta)
+    division = None
+    if with_division and bta == "poly":
+        mono = analyze(
+            program,
+            signature,
+            memo_hints=memo_hints,
+            unfold_hints=unfold_hints,
+            bta="mono",
+        )
+        division = compare_divisions(result, mono)
+    return analyze_bta(result, division=division)

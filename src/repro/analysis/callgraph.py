@@ -221,12 +221,20 @@ def join_bounds(a: Any, b: Any) -> Any:
 
 @dataclass(frozen=True, slots=True)
 class Node:
-    """A call-graph node: a top-level definition or a static lambda."""
+    """A call-graph node: a top-level definition or a static lambda.
+
+    Under a polyvariant BTA the graph's def nodes are the function
+    *variants* (the termination and bloat analyses therefore run on the
+    variant graph); ``origin``/``variant`` record the source function
+    and the variant's display name for diagnostics.
+    """
 
     name: str
     static_params: tuple  # Symbols
     kind: str  # "def" | "lam"
     residual: bool = False
+    origin: str = ""
+    variant: str = ""
 
 
 @dataclass(frozen=True, slots=True)
@@ -394,12 +402,16 @@ class _Builder:
     # -- construction ------------------------------------------------------------
 
     def build(self) -> CallGraph:
+        variants = getattr(self.bta, "variants", None) or {}
         for d in self.annotated.defs:
+            info = variants.get(d.name)
             self.graph.nodes[str(d.name)] = Node(
                 name=str(d.name),
                 static_params=self._static_params(d.params, d.bts),
                 kind="def",
                 residual=d.residual,
+                origin=str(info.origin) if info is not None else str(d.name),
+                variant=info.display if info is not None else "",
             )
         if self.closure is not None:
             for lam_id, site in self.closure.lams.items():

@@ -70,29 +70,40 @@ class AnalysisReport:
     specialize: every specialization-time call cycle reachable under
     dynamic control decreases, and every specialization point has
     bounded polyvariance.  ``metrics`` carries per-residual-definition
-    code-bloat estimates (pure diagnostics — never findings).
+    code-bloat estimates, and ``division`` (when the caller asked for
+    one) the :class:`~repro.analysis.division.DivisionReport` comparing
+    the polyvariant division against the monovariant baseline — both
+    pure diagnostics, never findings, so neither affects ``safe``.
     """
 
     findings: tuple = ()
     metrics: dict = field(default_factory=dict)
+    division: Any = None
 
     @property
     def safe(self) -> bool:
         return not self.findings
 
     def __str__(self) -> str:
+        lines = []
         if self.safe:
-            return "analysis: no findings"
-        lines = [f"analysis: {len(self.findings)} finding(s)"]
-        lines.extend(str(f) for f in self.findings)
+            lines.append("analysis: no findings")
+        else:
+            lines.append(f"analysis: {len(self.findings)} finding(s)")
+            lines.extend(str(f) for f in self.findings)
+        if self.division is not None:
+            lines.append(str(self.division))
         return "\n".join(lines)
 
     def to_json(self) -> dict[str, Any]:
-        return {
+        out = {
             "safe": self.safe,
             "findings": [f.to_json() for f in self.findings],
             "metrics": self.metrics,
         }
+        if self.division is not None:
+            out["division"] = self.division.to_json()
+        return out
 
 
 class UnsafeProgramError(PEError):

@@ -3,8 +3,30 @@
 "Notably, the binding-time analysis, which is a vital part of every offline
 partial evaluator, can automatically determine a proper staging of
 computations" (§1).  Given a program and a binding-time signature for the
-goal function's parameters, the analysis computes a congruent monovariant
-division and produces Annotated Core Scheme for the specializer.
+goal function's parameters, the analysis computes a congruent division and
+produces Annotated Core Scheme for the specializer.
+
+Two division disciplines are available (``bta="mono"|"poly"``):
+
+* **monovariant** — one binding time per parameter per function: every
+  call site's argument binding times join into the same division, so a
+  function called with ``(S,D)`` *and* ``(S,S)`` sees the lattice join
+  ``(S,D)`` everywhere;
+* **polyvariant** (the default) — top-level functions are *cloned* per
+  distinct abstract binding-time signature reaching their call sites.
+  The abstract signature of a call site is the pair (argument binding
+  times, role), where the role records whether the site memoizes the
+  callee (making it a residual specialization point whose body must
+  become code) or unfolds it (so its body is consumed as a
+  specialization-time value).  Cloning by role is what removes the
+  classic lift infelicity on fully static non-tail recursion: the goal's
+  residual variant gets lifts in its branches while the unfolded value
+  variant stays lift-free.  Variant fan-out is bounded by a configurable
+  cap (``max_variants``); a function whose request set overflows the cap
+  is *widened* back to its monovariant join (a single clone receiving
+  every call site).  The joint closure/binding-time/demand fixpoint is
+  re-run over the cloned program — the variant graph — until the variant
+  set and every call-site target stabilise.
 
 The analysis is a joint fixpoint over three interleaved, monotone maps:
 
@@ -151,9 +173,43 @@ class ClosureInfo:
         )
 
 
+@dataclass(frozen=True)
+class VariantInfo:
+    """Metadata for one polyvariant clone of a top-level function.
+
+    ``origin`` is the prepared-program function the clone was split from;
+    ``signature`` is the abstract argument binding-time signature the
+    clone was keyed on (``"SD"`` style, or ``"mono"`` when the function
+    was widened back to the monovariant join); ``role`` says whether the
+    clone is a residual specialization point (``"residual"``), an
+    unfold-only value (``"value"``), or the widened join (``"widened"``);
+    ``call_sites`` lists the originating call sites (``host:path``) that
+    requested the variant.
+    """
+
+    origin: Symbol
+    signature: str
+    role: str
+    call_sites: tuple = ()
+
+    @property
+    def display(self) -> str:
+        """``function@variant`` label used in diagnostics."""
+        if self.role == "widened":
+            return f"{self.origin}@mono"
+        tag = "r" if self.role == "residual" else "v"
+        return f"{self.origin}@{self.signature}{tag}"
+
+
 @dataclass
 class BTAResult:
-    """The analysis output: the annotated program plus diagnostics."""
+    """The analysis output: the annotated program plus diagnostics.
+
+    For ``mode="poly"``, ``prepared`` is the *expanded* variant program
+    (the clone graph the annotation was computed over), ``variants`` maps
+    each definition name to its :class:`VariantInfo`, and ``widened``
+    names the origins whose variant fan-out overflowed the cap.
+    """
 
     annotated: AnnotatedProgram
     prepared: Program
@@ -161,6 +217,14 @@ class BTAResult:
     residual_defs: frozenset
     decisions: dict = field(default_factory=dict)
     closure: ClosureInfo | None = None
+    mode: str = "mono"
+    variants: dict = field(default_factory=dict)
+    widened: frozenset = frozenset()
+
+    def origin_of(self, name: Symbol) -> Symbol:
+        """The prepared-program function a definition was cloned from."""
+        info = self.variants.get(name)
+        return info.origin if info is not None else name
 
 
 def prepare(program: Program) -> Program:
@@ -228,12 +292,17 @@ class _Analysis:
         signature: tuple[BindingTime, ...],
         memo_hints: frozenset[Symbol],
         unfold_hints: frozenset[Symbol],
+        origin_of: dict | None = None,
     ):
         self.program = program
         self.defs = {d.name: d for d in program.defs}
         self.signature = signature
         self.memo_hints = memo_hints
         self.unfold_hints = unfold_hints
+        # Polyvariant clones project onto their origin function for every
+        # question about the *recursion structure* (SCCs, hints): splitting
+        # a self-loop into variants must not make it look non-recursive.
+        self._origin = origin_of or {}
 
         goal = program.lookup(program.goal)
         if len(signature) != len(goal.params):
@@ -256,14 +325,15 @@ class _Analysis:
         self.ann_lams: dict[int, tuple[Lam, Symbol]] = {}
         self.ann_closure_apps: dict[int, tuple[int, ...]] = {}
 
-        self.sccs = self._call_sccs()
+        graph = self._call_graph()
+        self.sccs = [set(c) for c in nx.strongly_connected_components(graph)]
         self.recursive: set[Symbol] = set()
         for comp in self.sccs:
             if len(comp) > 1:
                 self.recursive |= comp
             else:
                 (f,) = comp
-                if self._calls_directly(f, f):
+                if graph.has_edge(f, f):
                     self.recursive.add(f)
         self.scc_of: dict[Symbol, frozenset] = {}
         for comp in self.sccs:
@@ -323,23 +393,16 @@ class _Analysis:
 
     # -- call graph ---------------------------------------------------------------
 
-    def _calls_directly(self, f: Symbol, g: Symbol) -> bool:
-        from repro.lang.ast import walk
+    def _o(self, f: Symbol) -> Symbol:
+        """The origin function of a (possibly cloned) definition name."""
+        return self._origin.get(f, f)
 
-        for node in walk(self.defs[f].body):
-            if (
-                isinstance(node, App)
-                and isinstance(node.fn, Var)
-                and node.fn.name is g
-            ):
-                return True
-        return False
-
-    def _call_sccs(self) -> list[set]:
+    def _call_graph(self) -> "nx.DiGraph":
+        """The call graph over *origin* functions."""
         from repro.lang.ast import walk
 
         graph = nx.DiGraph()
-        graph.add_nodes_from(self.defs)
+        graph.add_nodes_from(self._o(name) for name in self.defs)
         for name, d in self.defs.items():
             for node in walk(d.body):
                 if (
@@ -347,8 +410,8 @@ class _Analysis:
                     and isinstance(node.fn, Var)
                     and node.fn.name in self.defs
                 ):
-                    graph.add_edge(name, node.fn.name)
-        return [set(c) for c in nx.strongly_connected_components(graph)]
+                    graph.add_edge(self._o(name), self._o(node.fn.name))
+        return graph
 
     # -- the fixpoint ----------------------------------------------------------------
 
@@ -379,16 +442,21 @@ class _Analysis:
         return any(self._get_bt(p) is D for p in self.defs[f].params)
 
     def call_decision(self, caller: Symbol, callee: Symbol, app: App) -> str:
-        """'unfold' or 'memo' for this call site."""
-        if callee in self.unfold_hints:
+        """'unfold' or 'memo' for this call site.
+
+        Recursion structure (hints, SCC membership) is judged on *origin*
+        functions so polyvariant cloning cannot flip decisions between
+        rounds; only ``has_dynamic_param`` is per-clone.
+        """
+        if self._o(callee) in self.unfold_hints:
             return "unfold"
-        if callee not in self.recursive:
+        if self._o(callee) not in self.recursive:
             return "unfold"
         if not self.has_dynamic_param(callee):
             return "unfold"
-        if callee in self.memo_hints:
+        if self._o(callee) in self.memo_hints:
             return "memo"
-        if self.scc_of[callee] != self.scc_of.get(caller):
+        if self.scc_of[self._o(callee)] != self.scc_of.get(self._o(caller)):
             # Entering a recursive component from outside cannot by itself
             # build an infinite unfolding chain.
             return "unfold"
@@ -595,30 +663,340 @@ class _Analysis:
         )
 
 
+# -- polyvariant expansion ----------------------------------------------------------------
+
+# Sentinel variant key for a function widened back to its monovariant join.
+_WIDENED_KEY = ("widened",)
+
+# Outer clone/retarget rounds before giving up and falling back to the
+# monovariant division (the variant request set then failed to stabilise).
+_MAX_POLY_ROUNDS = 12
+
+
+@dataclass(frozen=True)
+class _Site:
+    """One direct call to a top-level function, in a definition body."""
+
+    host: Symbol
+    app: App
+    callee: Symbol
+    key: tuple          # (argument-bt tuple, role) — the abstract signature
+    path: str
+
+
+def _sig_str(bts: Iterable[BindingTime]) -> str:
+    return "".join(bt.value for bt in bts)
+
+
+def _collect_sites(analysis: _Analysis) -> dict[Symbol, list[_Site]]:
+    """Every direct def call site per host, keyed by abstract signature."""
+    sites: dict[Symbol, list[_Site]] = {}
+
+    def walk(host: Symbol, e: Expr, path: tuple[str, ...]) -> None:
+        if isinstance(e, (Const, Var)):
+            return
+        if isinstance(e, Lam):
+            walk(host, e.body, path + ("lam.body",))
+            return
+        if isinstance(e, Let):
+            walk(host, e.rhs, path + ("let.rhs",))
+            walk(host, e.body, path + ("let.body",))
+            return
+        if isinstance(e, If):
+            walk(host, e.test, path + ("if.test",))
+            walk(host, e.then, path + ("if.then",))
+            walk(host, e.alt, path + ("if.alt",))
+            return
+        if isinstance(e, Prim):
+            for i, a in enumerate(e.args):
+                walk(host, a, path + (f"prim.arg{i}",))
+            return
+        if isinstance(e, App):
+            if isinstance(e.fn, Var) and e.fn.name in analysis.defs:
+                callee = e.fn.name
+                decision = analysis.call_decision(host, callee, e)
+                role = "residual" if decision == "memo" else "value"
+                argsig = tuple(analysis._get_bt(id(a)) for a in e.args)
+                sites.setdefault(host, []).append(
+                    _Site(host, e, callee, (argsig, role), "/".join(path))
+                )
+            else:
+                walk(host, e.fn, path + ("app.fn",))
+            for i, a in enumerate(e.args):
+                walk(host, a, path + (f"app.arg{i}",))
+            return
+        for i, c in enumerate(e.children()):
+            walk(host, c, path + (f"child{i}",))
+
+    for d in analysis.program.defs:
+        analysis.chain = {}
+        analysis._chain_pass(d.body, {})
+        sites.setdefault(d.name, [])
+        walk(d.name, d.body, ())
+    return sites
+
+
+def _variant_name(
+    origin: Symbol, keys: set, key: tuple, goal: Symbol, goal_key: tuple
+) -> Symbol:
+    """Deterministic clone name for ``origin`` under ``key``.
+
+    The goal's residual variant — and any function with a single variant —
+    keeps its bare name, so programs that are monovariant in practice
+    come out of the polyvariant pass unchanged.
+    """
+    if len(keys) == 1:
+        return origin
+    if origin is goal and key == goal_key:
+        return origin
+    if key == _WIDENED_KEY:
+        return sym(f"{origin}@mono")
+    argsig, role = key
+    tag = "r" if role == "residual" else "v"
+    return sym(f"{origin}@{_sig_str(argsig)}{tag}")
+
+
+def _key_order(key: tuple):
+    if key == _WIDENED_KEY:
+        return (0, "", "")
+    argsig, role = key
+    return (1, role, _sig_str(argsig))
+
+
+def _clone_body(
+    e: Expr,
+    env: dict[Symbol, Symbol],
+    gs: Gensym,
+    site_target: dict[int, Symbol],
+) -> Expr:
+    """Copy ``e`` with fresh binders, retargeting direct def calls."""
+    if isinstance(e, Const):
+        return e
+    if isinstance(e, Var):
+        return Var(env.get(e.name, e.name))
+    if isinstance(e, Lam):
+        fresh = tuple(gs.fresh(p) for p in e.params)
+        inner = {**env, **dict(zip(e.params, fresh))}
+        return Lam(fresh, _clone_body(e.body, inner, gs, site_target))
+    if isinstance(e, Let):
+        rhs = _clone_body(e.rhs, env, gs, site_target)
+        fresh_var = gs.fresh(e.var)
+        inner = {**env, e.var: fresh_var}
+        return Let(fresh_var, rhs, _clone_body(e.body, inner, gs, site_target))
+    if isinstance(e, If):
+        return If(
+            _clone_body(e.test, env, gs, site_target),
+            _clone_body(e.then, env, gs, site_target),
+            _clone_body(e.alt, env, gs, site_target),
+        )
+    if isinstance(e, Prim):
+        return Prim(
+            e.op, tuple(_clone_body(a, env, gs, site_target) for a in e.args)
+        )
+    if isinstance(e, App):
+        target = site_target.get(id(e))
+        fn = (
+            Var(target)
+            if target is not None
+            else _clone_body(e.fn, env, gs, site_target)
+        )
+        return App(
+            fn, tuple(_clone_body(a, env, gs, site_target) for a in e.args)
+        )
+    raise BindingTimeError(
+        f"polyvariant cloning cannot handle {type(e).__name__} nodes"
+    )
+
+
+def _polyvariant_solve(
+    prepared: Program,
+    signature: tuple[BindingTime, ...],
+    memo: frozenset,
+    unfold: frozenset,
+    max_variants: int,
+) -> tuple[_Analysis, dict, frozenset]:
+    """The outer clone/retarget fixpoint around :class:`_Analysis`.
+
+    Returns the converged analysis (over the expanded variant program),
+    the ``name -> VariantInfo`` map, and the set of widened origins.
+    """
+    goal = prepared.goal
+    goal_key = (tuple(signature), "residual")
+    origin_order = [d.name for d in prepared.defs]
+
+    program = prepared
+    origin_of = {name: name for name in origin_order}
+    # origin -> {variant key (or None pre-analysis) -> def name}
+    current: dict[Symbol, dict] = {name: {None: name} for name in origin_order}
+    capped: set[Symbol] = set()
+    gs = Gensym("v")
+
+    for _round in range(_MAX_POLY_ROUNDS):
+        analysis = _Analysis(program, signature, memo, unfold, origin_of)
+        analysis.solve()
+
+        sites_by_host = _collect_sites(analysis)
+
+        # Worklist over donor bodies: which (origin, key) variants are
+        # reachable from the goal?  Restart whenever an origin newly
+        # overflows the cap (its keys collapse to the widened join).
+        def donor_for(o: Symbol, k: tuple) -> Symbol:
+            cur = current[o]
+            if k in cur:
+                return cur[k]
+            for d in program.defs:   # first clone of o, in def order
+                if origin_of[d.name] is o:
+                    return d.name
+            raise BindingTimeError(f"no clone of {o} to derive {k} from")
+
+        while True:
+            needed: dict[Symbol, set] = {}
+            requesters: dict[tuple, list] = {}
+            overflow = None
+            work: list[tuple] = [(goal, goal_key, "<goal>")]
+            seen: set[tuple] = set()
+            while work:
+                o, k, where = work.pop()
+                if o in capped:
+                    k = _WIDENED_KEY
+                requesters.setdefault((o, k), []).append(where)
+                if (o, k) in seen:
+                    continue
+                seen.add((o, k))
+                needed.setdefault(o, set()).add(k)
+                if len(needed[o]) > max_variants and o not in capped:
+                    overflow = o
+                    break
+                for s in sites_by_host.get(donor_for(o, k), ()):
+                    work.append(
+                        (origin_of[s.callee], s.key, f"{s.host}:{s.path}")
+                    )
+            if overflow is None:
+                break
+            capped.add(overflow)
+
+        # Name every needed variant.
+        new_names: dict[Symbol, dict] = {
+            o: {
+                k: _variant_name(o, keys, k, goal, goal_key)
+                for k in sorted(keys, key=_key_order)
+            }
+            for o, keys in needed.items()
+        }
+
+        def resolve(o: Symbol, k: tuple) -> Symbol:
+            if o in capped:
+                k = _WIDENED_KEY
+            return new_names[o][k]
+
+        # Converged when the clone name sets and every call-site target
+        # in a surviving clone are already what we would rebuild.
+        stable = {
+            nm for km in new_names.values() for nm in km.values()
+        } == {d.name for d in program.defs}
+        if stable:
+            for o, km in new_names.items():
+                for k, nm in km.items():
+                    for s in sites_by_host.get(nm, ()):
+                        if s.callee is not resolve(origin_of[s.callee], s.key):
+                            stable = False
+        if stable:
+            info = {
+                nm: _variant_info(o, k, requesters.get((o, k), ()))
+                for o, km in new_names.items()
+                for k, nm in km.items()
+            }
+            return analysis, info, frozenset(capped)
+
+        # Rebuild the variant program.
+        defs = []
+        origin_of_new: dict[Symbol, Symbol] = {}
+        for o in origin_order:
+            if o not in needed:
+                continue
+            for k, nm in new_names[o].items():
+                donor = program.lookup(donor_for(o, k))
+                site_target = {
+                    id(s.app): resolve(origin_of[s.callee], s.key)
+                    for s in sites_by_host.get(donor.name, ())
+                }
+                params = tuple(gs.fresh(p) for p in donor.params)
+                env = dict(zip(donor.params, params))
+                defs.append(
+                    Def(nm, params, _clone_body(donor.body, env, gs, site_target))
+                )
+                origin_of_new[nm] = o
+        program = Program(tuple(defs), goal)
+        origin_of = origin_of_new
+        current = new_names
+
+    # The variant request set failed to stabilise: fall back to the
+    # monovariant join for every function.
+    analysis = _Analysis(prepared, signature, memo, unfold)
+    analysis.solve()
+    info = {
+        name: VariantInfo(origin=name, signature="mono", role="widened")
+        for name in origin_order
+    }
+    return analysis, info, frozenset(origin_order)
+
+
+def _variant_info(origin: Symbol, key: tuple, where: Iterable[str]) -> VariantInfo:
+    call_sites = tuple(w for w in where if w != "<goal>")
+    if key == _WIDENED_KEY:
+        return VariantInfo(origin, "mono", "widened", call_sites)
+    argsig, role = key
+    return VariantInfo(origin, _sig_str(argsig), role, call_sites)
+
+
 @traced("pe.bta")
 def analyze(
     program: Program,
     signature: str | tuple[BindingTime, ...],
     memo_hints: Iterable[str | Symbol] = (),
     unfold_hints: Iterable[str | Symbol] = (),
+    bta: str = "poly",
+    max_variants: int = 8,
 ) -> BTAResult:
     """Run the front end and binding-time analysis; return annotated output.
 
     ``signature`` gives the binding time of each goal parameter, e.g.
     ``"SD"`` for a two-argument goal with a static first argument.
+    ``bta`` selects the division discipline: ``"poly"`` (the default)
+    clones functions per abstract call-site signature, bounded by
+    ``max_variants`` per function; ``"mono"`` computes the classic
+    monovariant join division.
     """
+    if bta not in ("mono", "poly"):
+        raise BindingTimeError(f"unknown bta mode {bta!r} (use 'mono' or 'poly')")
     if isinstance(signature, str):
         signature = parse_signature(signature)
     prepared = prepare(program)
     memo = frozenset(sym(h) if isinstance(h, str) else h for h in memo_hints)
     unfold = frozenset(sym(h) if isinstance(h, str) else h for h in unfold_hints)
-    analysis = _Analysis(prepared, signature, memo, unfold)
-    analysis.solve()
+    variants: dict = {}
+    widened: frozenset = frozenset()
+    if bta == "poly" and max_variants >= 1:
+        analysis, variants, widened = _polyvariant_solve(
+            prepared, signature, memo, unfold, max_variants
+        )
+    else:
+        bta = "mono"
+        analysis = _Analysis(prepared, signature, memo, unfold)
+        analysis.solve()
     annotated = _annotate_program(analysis)
     division = {
         name: analysis._get_bt(name)
-        for d in prepared.defs
+        for d in analysis.program.defs
         for name in d.params
+    }
+    decisions = {
+        host: tuple(
+            (s.path, s.callee, "memo" if s.key[1] == "residual" else "unfold")
+            for s in host_sites
+        )
+        for host, host_sites in _collect_sites(analysis).items()
+        if host_sites
     }
     lams = {
         id(node): LamSite(
@@ -639,12 +1017,16 @@ def analyze(
     }
     return BTAResult(
         annotated=annotated,
-        prepared=prepared,
+        prepared=analysis.program,
         division=division,
         residual_defs=frozenset(
             d.name for d in annotated.defs if d.residual
         ),
+        decisions=decisions,
         closure=ClosureInfo(lams=lams, apps=apps),
+        mode=bta,
+        variants=variants,
+        widened=widened,
     )
 
 

@@ -100,9 +100,18 @@ class CongruenceViolation:
     def_name: Symbol
     path: str                # e.g. "if.then/let.rhs/prim.arg0"
     message: str
+    # Polyvariant context: the variant display name ("fn@SDr") and the
+    # call-site paths whose abstract signatures created the variant, so a
+    # finding in a clone can be traced back to the calls responsible.
+    variant: str = ""
+    call_sites: tuple[str, ...] = ()
 
     def __str__(self) -> str:
-        return f"[{self.kind.value}] {self.def_name} at {self.path or '<body>'}: {self.message}"
+        name = self.variant or str(self.def_name)
+        text = f"[{self.kind.value}] {name} at {self.path or '<body>'}: {self.message}"
+        if self.call_sites:
+            text += f" (variant from {', '.join(self.call_sites)})"
+        return text
 
 
 class AnnotationViolation(BindingTimeError):
@@ -115,14 +124,28 @@ class AnnotationViolation(BindingTimeError):
 
 
 @traced("pe.congruence")
-def check_annotated(annotated: AnnotatedProgram) -> list[CongruenceViolation]:
-    """Lint ``annotated``; return every violation instead of raising."""
+def check_annotated(
+    annotated: AnnotatedProgram, variants: dict | None = None
+) -> list[CongruenceViolation]:
+    """Lint ``annotated``; return every violation instead of raising.
+
+    ``variants`` is the ``name -> VariantInfo`` map from a polyvariant
+    :class:`~repro.pe.bta.BTAResult`; when given, violations carry the
+    variant display name and originating call-site paths.
+    """
     out: list[CongruenceViolation] = []
     for d in annotated.defs:
         env: dict[Symbol, BindingTime | None] = {
             p: bt for p, bt in zip(d.params, d.bts)
         }
-        checker = _Checker(annotated, d.name, out)
+        info = (variants or {}).get(d.name)
+        checker = _Checker(
+            annotated,
+            d.name,
+            out,
+            variant=info.display if info is not None else "",
+            call_sites=tuple(info.call_sites) if info is not None else (),
+        )
         # A residual definition's body becomes residual code; an unfolded
         # definition's body is consumed at specialization time and may be
         # either.
@@ -130,16 +153,18 @@ def check_annotated(annotated: AnnotatedProgram) -> list[CongruenceViolation]:
     return out
 
 
-def verify_annotated(annotated: AnnotatedProgram) -> None:
+def verify_annotated(
+    annotated: AnnotatedProgram, variants: dict | None = None
+) -> None:
     """Lint ``annotated``; raise :class:`AnnotationViolation` on findings."""
-    violations = check_annotated(annotated)
+    violations = check_annotated(annotated, variants)
     if violations:
         raise AnnotationViolation(tuple(violations))
 
 
 def check_bta(result) -> list[CongruenceViolation]:
     """Lint a :class:`~repro.pe.bta.BTAResult`'s annotated output."""
-    return check_annotated(result.annotated)
+    return check_annotated(result.annotated, getattr(result, "variants", None))
 
 
 def check_specialization_safety(result):
@@ -180,16 +205,27 @@ class _Checker:
         annotated: AnnotatedProgram,
         def_name: Symbol,
         out: list[CongruenceViolation],
+        variant: str = "",
+        call_sites: tuple[str, ...] = (),
     ):
         self.annotated = annotated
         self.def_name = def_name
         self.out = out
+        self.variant = variant
+        self.call_sites = call_sites
 
     def _report(
         self, kind: CongruenceKind, path: tuple[str, ...], message: str
     ) -> None:
         self.out.append(
-            CongruenceViolation(kind, self.def_name, "/".join(path), message)
+            CongruenceViolation(
+                kind,
+                self.def_name,
+                "/".join(path),
+                message,
+                variant=self.variant,
+                call_sites=self.call_sites,
+            )
         )
 
     def check(

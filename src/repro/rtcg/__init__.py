@@ -13,6 +13,7 @@ This package wires the pieces into the artifacts the paper describes:
 
 from repro.rtcg.system import (
     GeneratingExtension,
+    bta_cache_key,
     make_generating_extension,
     program_digest,
     run_specialized,
@@ -22,6 +23,7 @@ from repro.rtcg.system import (
 
 __all__ = [
     "GeneratingExtension",
+    "bta_cache_key",
     "make_generating_extension",
     "program_digest",
     "run_specialized",

@@ -28,16 +28,32 @@ from repro.pe.specializer import Specializer
 from repro.pe.values import freeze_static
 
 
+def bta_cache_key(bta: str, max_variants: int = 8) -> str:
+    """The BTA-discipline cache discriminator.
+
+    Shared by the residual cache, :meth:`GeneratingExtension.peek`, and
+    :func:`program_digest`: residual programs specialized under
+    different divisions (mono vs. poly, or poly under different variant
+    caps) must never share a cache entry or an on-disk image.
+    """
+    return "mono" if bta == "mono" else f"poly{max_variants}"
+
+
 def program_digest(
     program: Program,
     signature: str,
     memo_hints: Iterable[str] = (),
     unfold_hints: Iterable[str] = (),
+    bta: str = "poly",
+    max_variants: int = 8,
 ) -> str:
     """A stable cross-process identity for a specialization problem.
 
     Hashes the unparsed program text together with the goal, the
-    binding-time signature, and the analysis hints: everything that
+    binding-time signature, the analysis hints, and the BTA discipline
+    (mono vs. poly and the variant cap — the annotation, and therefore
+    the residual code, depends on it; a mono-keyed image must never
+    satisfy a poly request, hence the v2 prefix): everything that
     determines what a generating extension will emit for given statics.
     On-disk image keys must include this — the in-memory residual cache
     is per-extension, so the program is implicit there, but a store
@@ -47,10 +63,12 @@ def program_digest(
     from repro.sexp.writer import write
 
     h = hashlib.sha256()
-    h.update(b"repro-program-v1\x00")
+    h.update(b"repro-program-v2\x00")
     h.update(program.goal.name.encode("utf-8"))
     h.update(b"\x00")
     h.update(signature.encode("utf-8"))
+    h.update(b"\x00")
+    h.update(bta_cache_key(bta, max_variants).encode("utf-8"))
     h.update(b"\x00")
     for hint in sorted(memo_hints):
         h.update(b"m:" + hint.encode("utf-8") + b"\x00")
@@ -186,9 +204,13 @@ class GeneratingExtension:
         max_residual_size: int = 1_000_000,
         tier_threshold: int | None = None,
         tier_max_fused: int = 8,
+        bta: str = "poly",
+        max_variants: int = 8,
     ):
         if analyze not in ("warn", "forbid", "off"):
             raise ValueError(f"unknown analyze mode {analyze!r}")
+        if bta not in ("mono", "poly"):
+            raise ValueError(f"unknown bta mode {bta!r} (use 'mono' or 'poly')")
         if tier_threshold is not None and tier_threshold < 1:
             raise ValueError(
                 f"tier_threshold must be >= 1, got {tier_threshold}"
@@ -197,6 +219,12 @@ class GeneratingExtension:
             program = parse_program(program, goal=goal)
         self.program = program
         self.signature = signature
+        self.bta_mode = bta
+        self.max_variants = max_variants
+        # The BTA-discipline discriminator threaded into every residual
+        # cache key and on-disk image key (with program_digest): a
+        # mono-keyed entry must never satisfy a poly request.
+        self._bta_key = bta_cache_key(bta, max_variants)
         # Per-extension stage timing, always on (one perf_counter pair per
         # pipeline stage — noise next to the stages themselves); exposed
         # through ``cache_stats()["stages"]`` and the fig6/fig8 tables.
@@ -204,17 +232,19 @@ class GeneratingExtension:
         self._stage_seconds: dict[str, dict[str, float]] = {}
         t0 = time.perf_counter()
         self.bta: BTAResult = bta_analyze(
-            program, signature, memo_hints=memo_hints, unfold_hints=unfold_hints
+            program, signature, memo_hints=memo_hints,
+            unfold_hints=unfold_hints, bta=bta, max_variants=max_variants,
         )
         self._add_stage("bta", time.perf_counter() - t0)
         if check_congruence:
             # Re-check the analysis output with the independent linter: a
             # BTA bug surfaces here as an AnnotationViolation instead of a
-            # mis-specialized program.
+            # mis-specialized program (variant-aware: violations name the
+            # function variant and its originating call sites).
             from repro.pe.check import verify_annotated
 
             t0 = time.perf_counter()
-            verify_annotated(self.bta.annotated)
+            verify_annotated(self.bta.annotated, self.bta.variants)
             self._add_stage("congruence", time.perf_counter() - t0)
         # Specialization-safety analysis, up front: findings either warn
         # (the runtime budgets below still backstop actual divergence) or
@@ -249,7 +279,8 @@ class GeneratingExtension:
 
             self.store = ImageStore(store_dir, max_bytes=store_max_bytes)
             self._program_digest = program_digest(
-                program, signature, memo_hints, unfold_hints
+                program, signature, memo_hints, unfold_hints,
+                bta=bta, max_variants=max_variants,
             )
         self._spec_lock = threading.Lock()
         self._specializer_runs = 0
@@ -484,7 +515,7 @@ class GeneratingExtension:
             if not use_cache or self.cache.maxsize <= 0:
                 result = produce()
             else:
-                key = (frozen, dif_strategy, kind)
+                key = (frozen, dif_strategy, kind, self._bta_key)
                 cached, hit = self.cache.get_or_generate(key, produce)
                 sp.set(cache_hit=hit)
                 # The cached object is shared between every caller that
@@ -506,7 +537,9 @@ class GeneratingExtension:
                 # object; the promotion *state* is keyed per cache key
                 # inside the extension, so every view of one residual
                 # shares the same run counter and promoted machine.
-                state = self._tier_state_for((frozen, dif_strategy, kind))
+                state = self._tier_state_for(
+                    (frozen, dif_strategy, kind, self._bta_key)
+                )
                 result.tier = _TierHook(self, state)
             return result
 
@@ -578,7 +611,7 @@ class GeneratingExtension:
         if self.cache.maxsize <= 0:
             return None
         frozen = tuple(freeze_static(a) for a in static_args)
-        return self.cache.peek((frozen, dif_strategy, kind))
+        return self.cache.peek((frozen, dif_strategy, kind, self._bta_key))
 
     def cache_stats(self) -> dict[str, Any]:
         """Hit/miss/eviction/generation-time counters of the cache.
@@ -652,6 +685,8 @@ def make_generating_extension(
     max_residual_size: int = 1_000_000,
     tier_threshold: int | None = None,
     tier_max_fused: int = 8,
+    bta: str = "poly",
+    max_variants: int = 8,
 ) -> GeneratingExtension:
     """Build a generating extension (BTA happens here, once)."""
     return GeneratingExtension(
@@ -663,6 +698,8 @@ def make_generating_extension(
         max_residual_size=max_residual_size,
         tier_threshold=tier_threshold,
         tier_max_fused=tier_max_fused,
+        bta=bta,
+        max_variants=max_variants,
     )
 
 

@@ -24,7 +24,7 @@ import threading
 from typing import Any, Iterable
 
 from repro import obs
-from repro.analysis import AnalysisReport, analyze_bta
+from repro.analysis import AnalysisReport, analyze_bta, compare_divisions
 from repro.lang.ast import Program
 from repro.pe.bta import analyze as bta_analyze
 
@@ -35,16 +35,20 @@ def program_admission_digest(
     goal: str | None,
     memo_hints: Iterable[str] = (),
     unfold_hints: Iterable[str] = (),
+    bta: str = "poly",
 ) -> str:
     """A stable identity for an admission question.
 
     Hashes everything the analyzer's verdict depends on: the program
     *text* (pre-parse — two textually equal submissions are the same
-    question), the binding-time signature, the goal, and the hints.
+    question), the binding-time signature, the goal, the hints, and the
+    BTA discipline (the verdict is computed over the variant graph, so
+    a mono verdict must never answer a poly question or vice versa —
+    hence the v2 prefix).
     """
     h = hashlib.sha256()
-    h.update(b"repro-admission-v1\x00")
-    for part in (program_text, signature, goal or ""):
+    h.update(b"repro-admission-v2\x00")
+    for part in (program_text, signature, goal or "", bta):
         h.update(part.encode("utf-8"))
         h.update(b"\x00")
     for hint in sorted(memo_hints):
@@ -79,8 +83,15 @@ class AdmissionController:
         signature: str,
         memo_hints: Iterable[str] = (),
         unfold_hints: Iterable[str] = (),
+        bta: str = "poly",
     ) -> AnalysisReport:
-        """The cached safety verdict for an already-parsed program."""
+        """The cached safety verdict for an already-parsed program.
+
+        Under ``bta="poly"`` the verdict also carries the
+        division-quality diagnostic (poly vs. mono baseline) — cached
+        with the verdict, so the mono baseline is computed once per
+        distinct program.
+        """
         with self._lock:
             report = self._verdicts.get(digest)
             if report is not None:
@@ -89,13 +100,24 @@ class AdmissionController:
             obs.count("serve.admission.cache_hit")
             return report
         with obs.span("serve.admission.analyze", digest=digest[:12]):
-            bta = bta_analyze(
+            result = bta_analyze(
                 program,
                 signature,
                 memo_hints=memo_hints,
                 unfold_hints=unfold_hints,
+                bta=bta,
             )
-            report = analyze_bta(bta)
+            division = None
+            if bta == "poly":
+                mono = bta_analyze(
+                    program,
+                    signature,
+                    memo_hints=memo_hints,
+                    unfold_hints=unfold_hints,
+                    bta="mono",
+                )
+                division = compare_divisions(result, mono)
+            report = analyze_bta(result, division=division)
         obs.count("serve.admission.analyzed")
         with self._lock:
             if len(self._verdicts) >= self.max_entries:

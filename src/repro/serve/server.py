@@ -599,13 +599,24 @@ class SpecializationServer:
             # per-extension totals, not per-request figures).
             "stages": ext.cache_stats()["stages"],
         }
+        report = self.admission.verdict(digest)
         if tenant.trusted:
             # warn semantics: surface cached findings without blocking.
-            report = self.admission.verdict(digest)
             if report is not None and not report.safe:
                 response["admission_warnings"] = [
                     str(f) for f in report.findings
                 ]
+        if report is not None and report.division is not None:
+            # Division-quality diagnostics from admission: how much the
+            # polyvariant BTA sharpened this program's division.
+            d = report.division
+            response["division"] = {
+                "variants": len(d.variants),
+                "recovered_params": d.recovered_param_count,
+                "spurious_lifts_removed": d.spurious_lift_count,
+                "decision_deltas": d.decision_delta_count,
+                "widened": list(d.widened),
+            }
         if req["want_residual"]:
             response["residual"] = residual.fingerprint()
         response["fingerprint_digest"] = hashlib.sha256(

@@ -39,7 +39,8 @@ MIXWELL_GOAL = "mixwell-run"
 # program static, input dynamic
 MIXWELL_SIGNATURE = "SD"
 
-# 93 lines, matching the paper's reported interpreter size.
+# 93 lines matching the paper's reported interpreter size, plus call-arity
+# checking (see mixwell-arity-ok? below for its binding-time story).
 MIXWELL_SOURCE = """
 ;; The MIXWELL interpreter.
 ;;
@@ -71,12 +72,28 @@ MIXWELL_SOURCE = """
              (mixwell-eval (caddr e) prog names vals)
              (mixwell-eval (cadddr e) prog names vals)))
         ((eq? (car e) 'call)
-         (mixwell-apply (mixwell-function (cadr e) prog)
-                        prog
-                        (mixwell-eval-args (cddr e) prog names vals)))
+         (if (mixwell-arity-ok? (mixwell-function (cadr e) prog)
+                                (cddr e))
+             (mixwell-apply (mixwell-function (cadr e) prog)
+                            prog
+                            (mixwell-eval-args (cddr e) prog names vals))
+             (error "mixwell: arity mismatch")))
         (else
          (mixwell-prim (car e)
                        (mixwell-eval-args (cdr e) prog names vals)))))
+
+;; Arity checking: both lists are static when the program is static,
+;; but `mixwell-length` is shared with the dynamic `length` primitive
+;; below — a monovariant division poisons it; a polyvariant one gives
+;; it a static variant so the checks fold away (see DESIGN.md §5j).
+(define (mixwell-arity-ok? def es)
+  (= (mixwell-length (cadr def))
+     (mixwell-length es)))
+
+(define (mixwell-length xs)
+  (if (null? xs)
+      0
+      (+ 1 (mixwell-length (cdr xs)))))
 
 ;; Evaluate an argument list, left to right.
 (define (mixwell-eval-args es prog names vals)
@@ -111,6 +128,8 @@ MIXWELL_SOURCE = """
          (pair? (car args)))
         ((eq? op 'atom?)
          (not (pair? (car args))))
+        ((eq? op 'length)
+         (mixwell-length (car args)))
         (else
          (error "mixwell: unknown primitive"))))
 

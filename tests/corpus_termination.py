@@ -156,13 +156,14 @@ SAFE: tuple[CorpusProgram, ...] = (
         signature="SS",
         goal="ack",
         static_args=("2", "3"),
-        runtime=False,
         note="fully static: every conditional is decided at"
         " specialization time, no cycle sits under dynamic control."
-        " Analysis ground truth only: the seed BTA lifts the residual"
-        " goal's branches, so the non-tail recursive call's (dynamic)"
-        " result flows into a static parameter and specialization stops"
-        " on a BindingTimeError before any divergence question arises",
+        " The polyvariant BTA splits the residual goal (whose branches"
+        " must lift) from an all-static value variant for the inner"
+        " recursive calls, so specialization folds the whole tower to a"
+        " constant; the monovariant join instead forces the lifted"
+        " (dynamic) recursion result into a static parameter and dies"
+        " with a BindingTimeError — pinned in test_bta.py",
     ),
     CorpusProgram(
         name="triangle-static",

@@ -262,7 +262,9 @@ class TestRuntimeBudgets:
         with pytest.raises(BudgetExceeded) as exc:
             gen.to_source(_statics(entry))
         assert exc.value.budget == "max_unfold_depth"
-        assert "spin" in exc.value.cycle
+        # Under the polyvariant BTA the cycle names the variant clone
+        # ("spin@SDv"), still rooted at the source function's name.
+        assert any("spin" in str(f) for f in exc.value.cycle)
 
     def test_residual_size_budget(self):
         entry = DIVERGING[0]
@@ -379,7 +381,7 @@ class TestAnalyzeCli:
         from repro.__main__ import main
 
         path = self._write(tmp_path, SAFE[0])
-        assert main(["analyze", path]) == 2
+        assert main(["analyze", path]) == 1
 
     def test_lint_json(self, tmp_path, capsys):
         from repro.__main__ import main

@@ -1,11 +1,13 @@
 """Tests for the binding-time analysis."""
 
 import pytest
+from hypothesis import given, settings
 
 from repro.lang import DApp, DIf, DLam, DPrim, Lam, Lift, MemoCall, parse_program, walk
 from repro.pe import BindingTime, BindingTimeError, analyze, parse_signature
 from repro.pe.bta import prepare
 from repro.sexp import sym
+from tests.strategies import guarded_descent_programs
 
 S, D = BindingTime.STATIC, BindingTime.DYNAMIC
 
@@ -222,3 +224,131 @@ class TestDivisionReporting:
         )
         assert ("d", D) in bts
         assert ("s", S) in bts
+
+
+class TestPolyvariantProperties:
+    """Properties relating the polyvariant division to the mono join."""
+
+    @staticmethod
+    def _assert_pointwise_refinement(program, signature):
+        mono = analyze(program, signature, bta="mono")
+        poly = analyze(program, signature, bta="poly")
+        mono_bts = {d.name: d.bts for d in mono.annotated.defs}
+        for d in poly.annotated.defs:
+            baseline = mono_bts.get(poly.origin_of(d.name))
+            if baseline is None:
+                continue  # unreachable under mono: nothing to refine
+            for pb, mb in zip(d.bts, baseline):
+                # Refinement: a variant may recover S where mono joined
+                # to D, but must never dynamize what mono kept static.
+                assert not (pb is D and mb is S), (
+                    d.name, d.bts, baseline,
+                )
+        return mono, poly
+
+    @given(entry=guarded_descent_programs())
+    @settings(max_examples=30, deadline=None)
+    def test_poly_is_a_pointwise_refinement_of_mono(self, entry):
+        src, sig, goal, _static_args = entry
+        program = parse_program(src, goal=goal)
+        self._assert_pointwise_refinement(program, sig)
+
+    def test_refinement_is_strict_on_a_shared_helper(self):
+        # One dynamic call site must not poison the static uses of h:
+        # poly splits h into an SS and a DS variant where mono joins
+        # the first parameter to D for every caller.
+        src = """
+        (define (main s d) (+ (h s s) (h d s)))
+        (define (h a b) (+ a b))
+        """
+        program = parse_program(src, goal="main")
+        mono, poly = self._assert_pointwise_refinement(program, "SD")
+        origins = {}
+        for d in poly.annotated.defs:
+            origins.setdefault(str(poly.origin_of(d.name)), []).append(d)
+        assert len(origins.get("h", ())) >= 2
+        mono_h = next(
+            d for d in mono.annotated.defs if str(d.name) == "h"
+        )
+        assert mono_h.bts == (D, S)
+        assert any(d.bts == (S, S) for d in origins["h"])
+
+    def test_workload_residuals_agree_across_divisions(self):
+        # Differential property over the workload corpus: the mono and
+        # poly divisions must produce semantically equal residual
+        # programs, on both dispatch loops (plain and counting).
+        from repro.lang.prims import write_value
+        from repro.rtcg import GeneratingExtension
+        from repro.runtime.values import datum_to_value
+        from repro.vm.profile import VMProfile
+        from repro.workloads import (
+            LAZY_SIGNATURE,
+            MIXWELL_SIGNATURE,
+            lazy_interpreter,
+            lazy_primes_program,
+            mixwell_interpreter,
+            mixwell_tm_program,
+        )
+
+        corpus = [
+            (
+                "mixwell", mixwell_interpreter(), MIXWELL_SIGNATURE,
+                [mixwell_tm_program()],
+                [datum_to_value([1, 0, 1, 1, 0, 1])],
+            ),
+            (
+                "lazy", lazy_interpreter(), LAZY_SIGNATURE,
+                [lazy_primes_program()], [4],
+            ),
+        ]
+        for name, program, sig, statics, dynamics in corpus:
+            outcomes = {}
+            for mode in ("mono", "poly"):
+                gen = GeneratingExtension(program, sig, bta=mode)
+                rp = gen.to_object_code(statics, dif_strategy="join")
+                outcomes[mode] = (
+                    write_value(rp.run(list(dynamics))),
+                    write_value(rp.run_profiled(list(dynamics), VMProfile())),
+                )
+            assert outcomes["mono"] == outcomes["poly"], name
+
+
+class TestMonoLiftInfelicity:
+    """Pinned regression: the monovariant join's lift infelicity.
+
+    Ackermann under an all-static signature with the goal itself as the
+    specialization point: the goal is residual, so its branches lift —
+    and under the monovariant join the lifted (now dynamic) recursion
+    result flows back into ``ack``'s static parameter, a congruence
+    dead-end the seed BTA reported as a BindingTimeError.  The
+    polyvariant BTA splits a value variant for the inner calls and
+    folds the whole tower to a constant instead.
+    """
+
+    @staticmethod
+    def _ackermann():
+        from tests.corpus_termination import SAFE
+
+        return next(e for e in SAFE if e.name == "ackermann")
+
+    def test_mono_reproduces_the_binding_time_error(self):
+        from repro.rtcg import GeneratingExtension
+
+        entry = self._ackermann()
+        gen = GeneratingExtension(
+            entry.source, entry.signature, goal=entry.goal, bta="mono"
+        )
+        with pytest.raises(
+            BindingTimeError, match="dynamic argument to static"
+        ):
+            gen.to_source([2, 3])
+
+    def test_poly_folds_ackermann_to_a_constant(self):
+        from repro.rtcg import GeneratingExtension
+
+        entry = self._ackermann()
+        gen = GeneratingExtension(
+            entry.source, entry.signature, goal=entry.goal
+        )
+        rp = gen.to_source([2, 3])
+        assert rp.run([]) == 9

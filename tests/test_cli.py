@@ -587,7 +587,7 @@ class TestOptCommand:
                 assert entry["violations"] == []
 
     def test_opt_without_target_is_an_error(self, capsys):
-        assert main(["opt"]) == 2
+        assert main(["opt"]) == 1
         assert "error:" in capsys.readouterr().err
 
 
