@@ -351,6 +351,75 @@ def fig10() -> None:
     print()
 
 
+def fig11() -> None:
+    print("## Figure 11 (ours) — Distributed warm starts (remote L3 tier)")
+    print()
+    print(
+        "| workload | fully cold (ms) | warm L3, cold local (ms) |"
+        " speedup | specializer runs (machine 2) |"
+    )
+    print("|---|---|---|---|---|")
+    from repro.image.remote import ObjectServer
+
+    rounds = min(ROUNDS, 5)
+    root = Path(tempfile.mkdtemp(prefix="repro-fig11-"))
+    for name, interp, sig, static in workloads():
+        with ObjectServer(root / f"{name.lower()}-l3", port=0) as server:
+            endpoint = ("127.0.0.1", server.port)
+            m1 = make_generating_extension(
+                interp, sig, store_dir=root / f"{name.lower()}-m1",
+                remote_store=endpoint,
+            )
+            m1.to_object_code([static])
+            assert m1.flush_store()
+            m1.close_store()
+
+            def cold(interp=interp, sig=sig, static=static):
+                gen = make_generating_extension(interp, sig)
+                return best_of(
+                    lambda: gen.to_object_code([static]), rounds=1
+                )
+
+            t_cold = min(cold() for _ in range(rounds))
+            stats = {}
+            machines = iter(range(10_000))
+
+            def warm(
+                interp=interp, sig=sig, static=static, name=name,
+                endpoint=endpoint, stats=stats, machines=machines,
+            ):
+                gen = make_generating_extension(
+                    interp, sig,
+                    store_dir=root / f"{name.lower()}-m2-{next(machines)}",
+                    remote_store=endpoint,
+                )
+                t = best_of(lambda: gen.to_object_code([static]), rounds=1)
+                stats.update(gen.cache_stats())
+                gen.close_store(flush=False)
+                return t
+
+            t_warm = min(warm() for _ in range(rounds))
+        runs = stats["specializer_runs"]
+        print(
+            f"| {name} | {ms(t_cold)} | {ms(t_warm)} |"
+            f" {t_cold / t_warm:7.1f}x | {runs} |"
+        )
+    print()
+    print(
+        "(Machine 1 specializes once and publishes the image to a"
+        " shared object server; machine 2 boots with a cold process"
+        " AND a cold local store, and its first call is a remote fetch"
+        " + decode + re-verify — the network is untrusted, so the"
+        " bytecode verifier runs on every remote image before it can"
+        " reach the machine.  Extension construction (BTA, congruence,"
+        " safety analysis) is identical on both machines and sits"
+        " outside the timed region, as in Figure 8.  No paper analogue:"
+        " residual code did not leave the Scheme 48 heap, let alone the"
+        " machine.)"
+    )
+    print()
+
+
 def ablations() -> None:
     print("## Ablations")
     print()
@@ -409,6 +478,7 @@ def main() -> None:
     fig8()
     fig9()
     fig10()
+    fig11()
     ablations()
 
 

@@ -1080,6 +1080,7 @@ def cmd_stats(args: argparse.Namespace) -> int:
         unfold_hints=args.unfold or (),
         cache_size=args.cache_size,
         store_dir=args.store,
+        remote_store=args.remote,
     )
     static = _data(args.static or [])
     generate = {
@@ -1100,6 +1101,9 @@ def cmd_stats(args: argparse.Namespace) -> int:
         generate()
         warm_times.append(time.perf_counter() - t0)
     warm = min(warm_times)
+    # With a remote tier attached, drain the write-behind queue before
+    # reporting (and before the process exits with images still queued).
+    gen.flush_store()
     stats = gen.cache_stats()
     speedup = cold / warm if warm > 0 else float("inf")
     if args.json:
@@ -1135,6 +1139,15 @@ def cmd_stats(args: argparse.Namespace) -> int:
             f"image store:         {ss['hits']} hit(s), {ss['misses']}"
             f" miss(es), {ss['writes']} write(s) at {ss['root']}"
         )
+        if "remote" in ss:
+            rs = ss["remote"]
+            print(
+                f"remote tier:         {rs['remote_hits']} hit(s),"
+                f" {rs['remote_misses']} miss(es),"
+                f" {rs['wb_flushed']} pushed,"
+                f" {rs['wb_dropped']} dropped at {rs['endpoint']}"
+                f"{' [down]' if rs['down'] else ''}"
+            )
     return 0
 
 
@@ -1172,8 +1185,11 @@ def cmd_image_export(args: argparse.Namespace) -> int:
     from repro.image import save_image
     from repro.rtcg import GeneratingExtension
 
-    if not args.store and not args.out:
-        print("error: image export needs --store and/or -o", file=sys.stderr)
+    if not args.store and not args.out and not args.remote:
+        print(
+            "error: image export needs --store, --remote, and/or -o",
+            file=sys.stderr,
+        )
         return 2
     program = _load(args.file, args.goal, args.prelude)
     gen = GeneratingExtension(
@@ -1182,6 +1198,7 @@ def cmd_image_export(args: argparse.Namespace) -> int:
         memo_hints=args.memo or (),
         unfold_hints=args.unfold or (),
         store_dir=args.store,
+        remote_store=args.remote,
     )
     static = _data(args.static or [])
     if args.backend == "object":
@@ -1191,7 +1208,14 @@ def cmd_image_export(args: argparse.Namespace) -> int:
     else:
         residual = gen.to_source(static, dif_strategy=args.dif_strategy)
     status = 0
-    if args.store:
+    if args.remote and not gen.flush_store():
+        print(
+            "error: the write-behind queue did not drain (remote"
+            " object server unreachable?)",
+            file=sys.stderr,
+        )
+        status = 1
+    if args.store or args.remote:
         digest = residual.stats.get("image_digest")
         if digest is None:
             print(
@@ -1302,6 +1326,115 @@ def cmd_image_gc(args: argparse.Namespace) -> int:
     return 0
 
 
+def _remote_client(args: argparse.Namespace):
+    from repro.image import RemoteStoreClient, parse_endpoint
+
+    host, port = parse_endpoint(args.remote)
+    return RemoteStoreClient(host, port)
+
+
+def cmd_image_serve_store(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.image import ObjectServer
+
+    server = ObjectServer(
+        args.store,
+        host=args.host,
+        port=args.port,
+        max_connections=args.max_connections,
+    )
+    stop = {"requested": False}
+
+    def request_stop(signum, frame):  # pragma: no cover - signal path
+        stop["requested"] = True
+
+    server.start()
+    print(
+        f"serving image objects from {args.store}"
+        f" on {server.host}:{server.port}",
+        file=sys.stderr,
+    )
+    sys.stderr.flush()
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        previous[sig] = signal.signal(sig, request_stop)
+    try:
+        import time
+
+        while not stop["requested"]:
+            time.sleep(0.2)
+    except KeyboardInterrupt:  # pragma: no cover - interactive path
+        pass
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        server.stop()
+    print("object server stopped", file=sys.stderr)
+    return 0
+
+
+def cmd_image_sync(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.image import sync_stores
+
+    report = sync_stores(_image_store(args), _remote_client(args))
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(
+            f"pushed {report['objects_pushed']} object(s)"
+            f" ({report['objects_deduped']} already remote),"
+            f" wrote {report['refs_written']} ref(s),"
+            f" {report['errors']} error(s) -> {report['remote']}"
+        )
+    return 1 if report["errors"] else 0
+
+
+def cmd_image_prefetch(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.image import prefetch_store
+
+    report = prefetch_store(_image_store(args), _remote_client(args))
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(
+            f"fetched {report['objects_fetched']} object(s),"
+            f" wrote {report['refs_written']} ref(s)"
+            f" ({report['refs_current']} already current),"
+            f" {report['errors']} error(s) <- {report['remote']}"
+        )
+    return 1 if report["errors"] else 0
+
+
+def cmd_image_fsck(args: argparse.Namespace) -> int:
+    import json
+
+    # Like ls: repairing a store that does not exist would silently
+    # invent an empty one.
+    if not Path(args.store).is_dir():
+        raise OSError(
+            f"image store directory {args.store!r} does not exist"
+            " (or is not a directory)"
+        )
+    report = _image_store(args).fsck()
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(
+            f"checked {report['checked']} object(s):"
+            f" {len(report['corrupt'])} corrupt,"
+            f" {report['quarantined']} quarantined,"
+            f" {report['removed_refs']} ref(s) pruned"
+        )
+        for digest in report["corrupt"]:
+            print(f"  corrupt: {digest}")
+    return 0 if report["ok"] else 1
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
@@ -1321,6 +1454,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         quota=quota,
         trusted=frozenset(args.trust or ()),
         store_dir=args.store,
+        remote_store=args.remote_store,
     )
     stop = {"requested": False}
 
@@ -1683,6 +1817,10 @@ def main(argv: list[str] | None = None) -> int:
         "--store", help="attach an on-disk image store (L2 tier)",
     )
     p.add_argument(
+        "--remote", metavar="HOST:PORT",
+        help="attach a remote object server (L3 tier behind --store)",
+    )
+    p.add_argument(
         "--json", action="store_true",
         help="emit the statistics as a JSON object",
     )
@@ -1698,6 +1836,10 @@ def main(argv: list[str] | None = None) -> int:
     )
     common(p, needs_sig=True)
     p.add_argument("--store", help="content-addressed store directory")
+    p.add_argument(
+        "--remote", metavar="HOST:PORT",
+        help="also push the image to a remote object server (L3)",
+    )
     p.add_argument("-o", "--out", help="also write a standalone image file")
     p.add_argument(
         "--backend", default="object", choices=("object", "source"),
@@ -1744,6 +1886,52 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument("--json", action="store_true")
     p.set_defaults(fn=cmd_image_gc)
 
+    p = image_sub.add_parser(
+        "fsck", help="scan for torn/corrupt objects and repair the store"
+    )
+    p.add_argument("--store", required=True)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(fn=cmd_image_fsck)
+
+    p = image_sub.add_parser(
+        "serve-store",
+        help="serve a store directory to remote workers (L3 object tier)",
+    )
+    p.add_argument("--store", required=True)
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port", type=int, default=7459,
+        help="TCP port (0 picks an ephemeral port; default: 7459)",
+    )
+    p.add_argument(
+        "--max-connections", type=int, default=64, dest="max_connections",
+        help="connection pool bound (default: 64)",
+    )
+    p.set_defaults(fn=cmd_image_serve_store)
+
+    p = image_sub.add_parser(
+        "sync", help="push the local store's objects to a remote server"
+    )
+    p.add_argument("--store", required=True)
+    p.add_argument(
+        "--remote", required=True, metavar="HOST:PORT",
+        help="object server endpoint (see: image serve-store)",
+    )
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(fn=cmd_image_sync)
+
+    p = image_sub.add_parser(
+        "prefetch",
+        help="pull the remote inventory down into the local store",
+    )
+    p.add_argument("--store", required=True)
+    p.add_argument(
+        "--remote", required=True, metavar="HOST:PORT",
+        help="object server endpoint (see: image serve-store)",
+    )
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(fn=cmd_image_prefetch)
+
     p = sub.add_parser(
         "serve",
         help="run the concurrent multi-tenant specialization service",
@@ -1756,6 +1944,11 @@ def main(argv: list[str] | None = None) -> int:
     p.add_argument(
         "--store",
         help="root directory for per-tenant on-disk image stores (L2)",
+    )
+    p.add_argument(
+        "--remote-store", metavar="HOST:PORT", dest="remote_store",
+        help="shared remote object server (L3) behind every tenant's L2;"
+        " replicas pointed at one endpoint share a warm cache",
     )
     p.add_argument(
         "--trust", action="append", metavar="TENANT",

@@ -7,12 +7,16 @@ the process forces every restart to re-pay every specialization.  Scheme
 residual code: a versioned, pickle-free binary codec for
 :class:`~repro.vm.template.Template` trees and whole
 :class:`~repro.pe.backend.ResidualProgram`s
-(:mod:`repro.image.codec`), and a content-addressed on-disk store with
-atomic writes, advisory locking, and a size-bounded garbage collector
-(:mod:`repro.image.store`).
+(:mod:`repro.image.codec`), a content-addressed store with atomic,
+fsync-durable writes, advisory locking, and a size-bounded garbage
+collector behind the :class:`~repro.image.store.StoreBackend` protocol
+(:mod:`repro.image.store`), and a remote L3 tier — TCP object server,
+retrying client, and a read-through/write-behind
+:class:`~repro.image.remote.TieredStore` — so a fleet of workers shares
+one warm cache (:mod:`repro.image.remote`).
 
-Images loaded from disk are *untrusted*: by default every template in a
-loaded image is re-checked by the bytecode verifier
+Images loaded from disk *or* the network are *untrusted*: by default
+every template in a loaded image is re-checked by the bytecode verifier
 (:mod:`repro.vm.verify`) before it can reach the machine.
 """
 
@@ -27,10 +31,24 @@ from repro.image.codec import (
     load_image,
     save_image,
 )
+from repro.image.remote import (
+    ObjectServer,
+    RemoteStoreClient,
+    RemoteStoreError,
+    TieredStore,
+    parse_endpoint,
+    prefetch_store,
+    sync_stores,
+    tiered,
+)
 from repro.image.store import (
     ImageStore,
+    LocalStoreBackend,
+    ObjectStat,
+    StoreBackend,
     StoreKey,
     UnpersistableKey,
+    plausible_digest,
     store_key,
     verify_residual,
 )
@@ -39,15 +57,27 @@ __all__ = [
     "CODEC_VERSION",
     "CodecError",
     "ImageStore",
+    "LocalStoreBackend",
     "MAGIC",
+    "ObjectServer",
+    "ObjectStat",
+    "RemoteStoreClient",
+    "RemoteStoreError",
+    "StoreBackend",
     "StoreKey",
+    "TieredStore",
     "UnpersistableKey",
     "decode_residual",
     "decode_template",
     "encode_residual",
     "encode_template",
     "load_image",
+    "parse_endpoint",
+    "plausible_digest",
+    "prefetch_store",
     "save_image",
     "store_key",
+    "sync_stores",
+    "tiered",
     "verify_residual",
 ]

@@ -1,0 +1,1296 @@
+"""A remote L3 object tier for the image store, and the tiering glue.
+
+``ObjectServer`` exposes a :class:`~repro.image.store.LocalStoreBackend`
+over TCP using the same length-prefixed JSON frame codec as the
+specialization service (:mod:`repro.serve.protocol`), with four new
+frame types:
+
+``obj_get``
+    By ``digest`` or by index ``key``; answers an ``obj_result`` with
+    base64 payload bytes on a hit.  The server re-hashes before serving
+    so a corrupt object on the server degrades to a miss, never to
+    poisoned bytes (clients re-check and re-verify anyway — remote
+    images stay untrusted until verify-on-load passes).
+``obj_put``
+    Content-addressed upload: the server re-hashes the payload against
+    the claimed digest and refuses mismatches, dedups by digest, and
+    optionally writes a ``key -> digest`` index ref in the same request.
+    A ``data``-less ``obj_put`` writes just the ref (used by sync when
+    the object is already present).
+``obj_stat``
+    Existence/size/recency probe by digest or key, without payload.
+``obj_sync``
+    The full inventory — object stats plus the ref index — powering
+    bulk ``image sync`` (push) and ``image prefetch`` (pull).
+
+``RemoteStoreClient`` speaks this protocol and implements the
+:class:`~repro.image.store.StoreBackend` protocol, so
+``ImageStore(backend=RemoteStoreClient(...))`` works directly; all its
+failures surface as :class:`RemoteStoreError` (an ``OSError``, so store
+code treats transport trouble exactly like disk trouble).  The client
+keeps one connection open, resets it on any transport error (a stream
+that died mid-frame may hold half a message — reusing it would desync),
+and retries idempotent exchanges with bounded exponential backoff.
+
+``TieredStore`` composes L2 (local ``ImageStore``) over L3 (remote):
+
+* **read-through** — an L2 miss probes L3; a hit is decoded, verified,
+  counted, and *replicated down* into L2 so the next process on this
+  machine pays only the local price;
+* **negative cache** — an L3 miss is remembered for ``negative_ttl``
+  seconds so cold keys do not hammer the network;
+* **circuit breaking** — a transport error marks the remote down for
+  ``retry_interval`` seconds; while down, reads skip straight to a miss
+  and the specializer proceeds locally;
+* **async write-behind** — puts land in L2 synchronously and are pushed
+  to L3 by a worker thread through a bounded queue (saturation drops
+  the oldest-work-not-yet-queued with a counter, never blocks the
+  specializer); the worker doubles as the reconnect probe, so a queued
+  backlog drains as soon as the remote comes back.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import socket
+import threading
+import time
+from contextlib import contextmanager, nullcontext
+from pathlib import Path
+from queue import Empty, Queue
+from typing import Any, ContextManager, Iterator
+
+from repro import obs
+from repro.image.codec import CodecError, decode_residual, encode_residual
+from repro.image.store import (
+    ImageStore,
+    LocalStoreBackend,
+    ObjectStat,
+    StoreKey,
+    plausible_digest,
+    verify_residual,
+)
+from repro.pe.backend import ResidualProgram
+from repro.serve.protocol import (
+    E_BAD_REQUEST,
+    E_INTERNAL,
+    FrameError,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    error_frame,
+    recv_frame,
+    send_frame,
+)
+from repro.vm.verify import VerificationError
+
+
+class RemoteStoreError(OSError):
+    """A remote-store exchange that failed.
+
+    ``retryable`` distinguishes transport trouble (timeouts, resets,
+    torn frames — worth retrying once the peer is back) from typed
+    refusals (digest mismatch, oversized frame — retrying is useless).
+    """
+
+    def __init__(self, message: str, retryable: bool = True):
+        super().__init__(message)
+        self.retryable = retryable
+
+
+def parse_endpoint(spec: "str | tuple[str, int]") -> tuple[str, int]:
+    """``"host:port"`` (or an already-split tuple) -> ``(host, port)``."""
+    if isinstance(spec, tuple):
+        host, port = spec
+        return str(host), int(port)
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host:
+        raise ValueError(
+            f"remote store endpoint must be host:port, got {spec!r}"
+        )
+    try:
+        number = int(port)
+    except ValueError:
+        raise ValueError(
+            f"remote store endpoint has a non-numeric port: {spec!r}"
+        ) from None
+    if not 0 < number < 65536:
+        raise ValueError(
+            f"remote store endpoint port out of range: {spec!r}"
+        )
+    return host, number
+
+
+def _b64(data: bytes) -> str:
+    return base64.b64encode(data).decode("ascii")
+
+
+def _unb64(text: Any) -> bytes:
+    if not isinstance(text, str):
+        raise RemoteStoreError(
+            f"frame data field must be a base64 string,"
+            f" got {type(text).__name__}", retryable=False,
+        )
+    try:
+        return base64.b64decode(text.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError) as exc:
+        raise RemoteStoreError(
+            f"frame data field is not valid base64: {exc}", retryable=False
+        ) from None
+
+
+# -- the server -------------------------------------------------------------
+
+
+class ObjectServer:
+    """A threaded TCP object server over a local store directory.
+
+    One accept thread plus one handler thread per connection (bounded by
+    ``max_connections``), same lifecycle shape as the specialization
+    server.  Uploads are content-verified before they touch disk; the
+    server never decodes or executes images — it is a dumb, durable
+    byte tier, and every consumer re-verifies on load.
+    """
+
+    def __init__(
+        self,
+        store_dir: "str | Path",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_connections: int = 64,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+        idle_timeout: float = 300.0,
+    ):
+        self.backend = LocalStoreBackend(store_dir)
+        self.host = host
+        self._requested_port = port
+        self.port: int | None = None
+        self.max_connections = max_connections
+        self.max_frame_bytes = max_frame_bytes
+        self.idle_timeout = idle_timeout
+        self._lock = threading.Lock()
+        self._counters = {
+            "connections": 0,
+            "requests": 0,
+            "get_hits": 0,
+            "get_misses": 0,
+            "puts": 0,
+            "dedups": 0,
+            "ref_writes": 0,
+            "stats_probes": 0,
+            "bad_requests": 0,
+            "frame_errors": 0,
+        }
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._handlers: set[threading.Thread] = set()
+        self._connections: set[socket.socket] = set()
+        self._closing = threading.Event()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "ObjectServer":
+        listener = socket.create_server(
+            (self.host, self._requested_port), reuse_port=False
+        )
+        listener.listen(128)
+        self._listener = listener
+        self.port = listener.getsockname()[1]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-objstore-accept",
+            daemon=True,
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._closing.set()
+        if self._listener is not None:
+            # shutdown() wakes a thread blocked in accept(); close()
+            # alone leaves it blocked and the port in LISTEN (the
+            # in-flight accept keeps the socket alive), so a restart
+            # on the same port would fail with EADDRINUSE.
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._lock:
+            connections = list(self._connections)
+            handlers = list(self._handlers)
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+        for thread in handlers:
+            thread.join(timeout=5)
+
+    def __enter__(self) -> "ObjectServer":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    def _count(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self._counters[name] += n
+
+    # -- connections ----------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._closing.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                break  # listener closed by stop()
+            with self._lock:
+                if len(self._connections) >= self.max_connections:
+                    admitted = False
+                else:
+                    self._connections.add(conn)
+                    admitted = True
+            if not admitted:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+                continue
+            self._count("connections")
+            obs.count("image.l3.server.connection")
+            thread = threading.Thread(
+                target=self._handle_connection, args=(conn,),
+                name="repro-objstore-conn", daemon=True,
+            )
+            with self._lock:
+                self._handlers.add(thread)
+            thread.start()
+
+    def _handle_connection(self, conn: socket.socket) -> None:
+        try:
+            conn.settimeout(self.idle_timeout)
+            while not self._closing.is_set():
+                try:
+                    frame = recv_frame(conn, max_bytes=self.max_frame_bytes)
+                except FrameError as exc:
+                    self._count("frame_errors")
+                    obs.count("image.l3.server.frame_error")
+                    try:
+                        send_frame(conn, error_frame(
+                            "BAD_FRAME", str(exc)
+                        ), max_bytes=self.max_frame_bytes)
+                    except OSError:
+                        pass
+                    return
+                except (TimeoutError, OSError):
+                    return  # idle timeout or peer reset
+                if frame is None:
+                    return  # clean EOF
+                response = self._dispatch(frame)
+                try:
+                    send_frame(
+                        conn, response, max_bytes=self.max_frame_bytes
+                    )
+                except FrameError:
+                    try:
+                        send_frame(conn, error_frame(
+                            E_INTERNAL,
+                            "response exceeded the frame size limit",
+                        ), max_bytes=self.max_frame_bytes)
+                    except OSError:
+                        return
+                except OSError:
+                    return
+        finally:
+            with self._lock:
+                self._connections.discard(conn)
+                self._handlers.discard(threading.current_thread())
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    # -- dispatch -------------------------------------------------------------
+
+    def _dispatch(self, frame: dict[str, Any]) -> dict[str, Any]:
+        self._count("requests")
+        kind = frame.get("type")
+        obs.count(
+            f"image.l3.server.request.{kind}" if isinstance(kind, str)
+            else "image.l3.server.request.invalid"
+        )
+        try:
+            if kind == "obj_get":
+                return self._handle_get(frame)
+            if kind == "obj_put":
+                return self._handle_put(frame)
+            if kind == "obj_stat":
+                return self._handle_stat(frame)
+            if kind == "obj_sync":
+                return self._handle_sync()
+            if kind == "stats":
+                return {
+                    "type": "stats_result",
+                    "v": PROTOCOL_VERSION,
+                    "stats": self.stats(),
+                }
+            if kind == "ping":
+                return {"type": "pong", "v": PROTOCOL_VERSION}
+            self._count("bad_requests")
+            return error_frame(
+                E_BAD_REQUEST, f"unknown request type {kind!r}"
+            )
+        except OSError as exc:
+            # Disk trouble on the server must not kill the handler
+            # thread; the client sees a typed, retryable error.
+            obs.count("image.l3.server.storage_error")
+            return error_frame(
+                E_INTERNAL, f"object storage failed: {exc}", retryable=True
+            )
+
+    def _resolve_digest(self, frame: dict[str, Any]) -> "str | None":
+        """The object digest a request names — directly, or via a key
+        ref.  ``None`` when absent/dangling; raises ``_BadRequest`` via
+        an error return from the caller for malformed input."""
+        digest = frame.get("digest")
+        if digest is not None:
+            if not isinstance(digest, str) or not plausible_digest(digest):
+                raise _BadField(f"malformed object digest {digest!r}")
+            return digest
+        key = frame.get("key")
+        if key is None:
+            raise _BadField("request needs a digest or a key")
+        if not isinstance(key, str) or not plausible_digest(key):
+            raise _BadField(f"malformed index key {key!r}")
+        try:
+            ref = self.backend.read_ref(key)
+        except OSError:
+            return None
+        if not plausible_digest(ref):
+            return None  # torn ref on the server: a miss, gc's problem
+        return ref
+
+    def _handle_get(self, frame: dict[str, Any]) -> dict[str, Any]:
+        miss = {
+            "type": "obj_result", "v": PROTOCOL_VERSION,
+            "found": False, "digest": None, "data": None,
+        }
+        try:
+            digest = self._resolve_digest(frame)
+        except _BadField as exc:
+            self._count("bad_requests")
+            return error_frame(E_BAD_REQUEST, str(exc))
+        if digest is None:
+            self._count("get_misses")
+            obs.count("image.l3.server.miss")
+            return miss
+        try:
+            data = self.backend.read_object(digest)
+        except OSError:
+            self._count("get_misses")
+            obs.count("image.l3.server.miss")
+            return miss
+        if hashlib.sha256(data).hexdigest() != digest:
+            # Corrupt at rest: serve a miss, leave repair to fsck.
+            self._count("get_misses")
+            obs.count("image.l3.server.corrupt")
+            return miss
+        self.backend.touch_object(digest)
+        self._count("get_hits")
+        obs.count("image.l3.server.hit")
+        return {
+            "type": "obj_result", "v": PROTOCOL_VERSION,
+            "found": True, "digest": digest, "data": _b64(data),
+        }
+
+    def _handle_put(self, frame: dict[str, Any]) -> dict[str, Any]:
+        digest = frame.get("digest")
+        if not isinstance(digest, str) or not plausible_digest(digest):
+            self._count("bad_requests")
+            return error_frame(
+                E_BAD_REQUEST, f"malformed object digest {digest!r}"
+            )
+        key = frame.get("key")
+        if key is not None and (
+            not isinstance(key, str) or not plausible_digest(key)
+        ):
+            self._count("bad_requests")
+            return error_frame(E_BAD_REQUEST, f"malformed index key {key!r}")
+        raw = frame.get("data")
+        stored = deduped = False
+        with self.backend.locked():
+            present = self.backend.has_object(digest)
+            if raw is None:
+                if not present:
+                    # A ref-only put for an object we don't hold: tell
+                    # the client to upload (sync's stat-first fast path).
+                    return {
+                        "type": "obj_put_result", "v": PROTOCOL_VERSION,
+                        "stored": False, "deduped": False,
+                        "indexed": False, "missing": True,
+                    }
+                deduped = True
+            elif present:
+                deduped = True
+                self._count("dedups")
+                obs.count("image.l3.server.dedup")
+            else:
+                try:
+                    data = _unb64(raw)
+                except RemoteStoreError as exc:
+                    self._count("bad_requests")
+                    return error_frame(E_BAD_REQUEST, str(exc))
+                if hashlib.sha256(data).hexdigest() != digest:
+                    # The content-address check is the server's whole
+                    # trust model: refuse, don't quarantine-later.
+                    self._count("bad_requests")
+                    obs.count("image.l3.server.digest_mismatch")
+                    return error_frame(
+                        E_BAD_REQUEST,
+                        f"payload does not hash to {digest[:12]}...",
+                    )
+                self.backend.write_object(digest, data)
+                stored = True
+                self._count("puts")
+                obs.count("image.l3.server.put")
+                obs.observe("image.l3.server.bytes", len(data))
+            indexed = False
+            if key is not None:
+                self.backend.write_ref(key, digest)
+                indexed = True
+                self._count("ref_writes")
+        return {
+            "type": "obj_put_result", "v": PROTOCOL_VERSION,
+            "stored": stored, "deduped": deduped,
+            "indexed": indexed, "missing": False,
+        }
+
+    def _handle_stat(self, frame: dict[str, Any]) -> dict[str, Any]:
+        self._count("stats_probes")
+        try:
+            digest = self._resolve_digest(frame)
+        except _BadField as exc:
+            self._count("bad_requests")
+            return error_frame(E_BAD_REQUEST, str(exc))
+        miss = {
+            "type": "obj_stat_result", "v": PROTOCOL_VERSION,
+            "found": False, "digest": None, "bytes": None, "mtime": None,
+        }
+        if digest is None:
+            return miss
+        try:
+            st = self.backend.stat_object(digest)
+        except OSError:
+            return miss
+        return {
+            "type": "obj_stat_result", "v": PROTOCOL_VERSION,
+            "found": True, "digest": digest,
+            "bytes": st.size, "mtime": st.mtime,
+        }
+
+    def _handle_sync(self) -> dict[str, Any]:
+        try:
+            objects = self.backend.list_objects()
+        except OSError:
+            objects = []
+        refs: dict[str, str] = {}
+        try:
+            keys = self.backend.list_ref_keys()
+        except OSError:
+            keys = []
+        for key in keys:
+            try:
+                ref = self.backend.read_ref(key)
+            except OSError:
+                continue
+            if plausible_digest(ref):
+                refs[key] = ref
+        return {
+            "type": "obj_sync_result", "v": PROTOCOL_VERSION,
+            "objects": [
+                {"digest": st.digest, "bytes": st.size, "mtime": st.mtime}
+                for st in sorted(objects, key=lambda st: st.digest)
+            ],
+            "refs": refs,
+        }
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            counters = dict(self._counters)
+            active = len(self._connections)
+        return {
+            "host": self.host,
+            "port": self.port,
+            "root": self.backend.location(),
+            "active_connections": active,
+            "counters": counters,
+        }
+
+
+class _BadField(ValueError):
+    """Internal: a malformed digest/key field in an object request."""
+
+
+# -- the client -------------------------------------------------------------
+
+
+class RemoteStoreClient:
+    """A :class:`~repro.image.store.StoreBackend` over the object-server
+    protocol.
+
+    One connection is kept open across exchanges.  **Any transport-level
+    failure resets it** — after a timeout or torn frame the stream may
+    hold half a message, and reusing it would desync every later
+    exchange (the same discipline the specialization client needed).
+    Exchanges are idempotent (content-addressed), so they are retried
+    ``retries`` times with exponential backoff before
+    :class:`RemoteStoreError` escapes.
+    """
+
+    writable = True
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 5.0,
+        retries: int = 2,
+        backoff: float = 0.05,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.max_frame_bytes = max_frame_bytes
+        self._sock: socket.socket | None = None
+        self._io_lock = threading.Lock()
+
+    # -- transport ------------------------------------------------------------
+
+    def location(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def close(self) -> None:
+        with self._io_lock:
+            self._close_locked()
+
+    def _close_locked(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def _connect_locked(self) -> socket.socket:
+        if self._sock is None:
+            self._sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        return self._sock
+
+    def _request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """One request/response exchange, with reset-on-error and
+        bounded retry/backoff.  Raises :class:`RemoteStoreError`."""
+        last: Exception | None = None
+        for attempt in range(self.retries + 1):
+            if attempt:
+                time.sleep(self.backoff * (2 ** (attempt - 1)))
+                obs.count("image.l3.retry")
+            with self._io_lock:
+                try:
+                    sock = self._connect_locked()
+                    send_frame(
+                        sock, payload, max_bytes=self.max_frame_bytes
+                    )
+                    response = recv_frame(
+                        sock, max_bytes=self.max_frame_bytes
+                    )
+                except FrameError as exc:
+                    # Torn or garbage stream — or our own payload is
+                    # over the frame bound, which no retry will fix.
+                    self._close_locked()
+                    if "over the" in str(exc) and "limit" in str(exc):
+                        raise RemoteStoreError(
+                            str(exc), retryable=False
+                        ) from exc
+                    last = exc
+                    continue
+                except OSError as exc:
+                    self._close_locked()
+                    last = exc
+                    continue
+                if response is None:
+                    self._close_locked()
+                    last = RemoteStoreError(
+                        "object server closed the connection"
+                    )
+                    continue
+            if response.get("type") == "error":
+                # A typed refusal arrives on an in-sync stream; keep it.
+                raise RemoteStoreError(
+                    f"object server refused"
+                    f" {payload.get('type')}: [{response.get('code')}]"
+                    f" {response.get('message')}",
+                    retryable=bool(response.get("retryable", False)),
+                )
+            return response
+        raise RemoteStoreError(
+            f"object server at {self.location()} unreachable after"
+            f" {self.retries + 1} attempt(s): {last}"
+        ) from last
+
+    def _expect(
+        self, payload: dict[str, Any], response_type: str
+    ) -> dict[str, Any]:
+        response = self._request(payload)
+        if response.get("type") != response_type:
+            self.close()  # the peer is confused; start clean
+            raise RemoteStoreError(
+                f"expected a {response_type} frame,"
+                f" got {response.get('type')!r}", retryable=False,
+            )
+        return response
+
+    # -- protocol verbs -------------------------------------------------------
+
+    def ping(self) -> bool:
+        try:
+            self._expect(
+                {"type": "ping", "v": PROTOCOL_VERSION}, "pong"
+            )
+            return True
+        except RemoteStoreError:
+            return False
+
+    def fetch(
+        self, key: "str | None" = None, digest: "str | None" = None
+    ) -> "tuple[str, bytes] | None":
+        """One round trip: ``(digest, payload)`` on a hit, ``None`` on a
+        miss.  Raises :class:`RemoteStoreError` on transport failure."""
+        frame: dict[str, Any] = {"type": "obj_get", "v": PROTOCOL_VERSION}
+        if digest is not None:
+            frame["digest"] = digest
+        else:
+            frame["key"] = key
+        response = self._expect(frame, "obj_result")
+        if not response.get("found"):
+            return None
+        got = response.get("digest")
+        if not isinstance(got, str) or not plausible_digest(got):
+            raise RemoteStoreError(
+                f"object server returned a malformed digest {got!r}",
+                retryable=False,
+            )
+        return got, _unb64(response.get("data"))
+
+    def push(
+        self, digest: str, data: "bytes | None", key: "str | None" = None
+    ) -> dict[str, Any]:
+        """Upload (or, with ``data=None``, just index) one object."""
+        frame: dict[str, Any] = {
+            "type": "obj_put", "v": PROTOCOL_VERSION, "digest": digest,
+        }
+        if data is not None:
+            frame["data"] = _b64(data)
+        if key is not None:
+            frame["key"] = key
+        return self._expect(frame, "obj_put_result")
+
+    def stat(
+        self, key: "str | None" = None, digest: "str | None" = None
+    ) -> "ObjectStat | None":
+        frame: dict[str, Any] = {"type": "obj_stat", "v": PROTOCOL_VERSION}
+        if digest is not None:
+            frame["digest"] = digest
+        else:
+            frame["key"] = key
+        response = self._expect(frame, "obj_stat_result")
+        if not response.get("found"):
+            return None
+        return ObjectStat(
+            digest=str(response.get("digest")),
+            size=int(response.get("bytes") or 0),
+            mtime=float(response.get("mtime") or 0.0),
+        )
+
+    def inventory(self) -> "tuple[list[ObjectStat], dict[str, str]]":
+        response = self._expect(
+            {"type": "obj_sync", "v": PROTOCOL_VERSION}, "obj_sync_result"
+        )
+        objects = []
+        for entry in response.get("objects") or []:
+            digest = entry.get("digest")
+            if isinstance(digest, str) and plausible_digest(digest):
+                objects.append(ObjectStat(
+                    digest=digest,
+                    size=int(entry.get("bytes") or 0),
+                    mtime=float(entry.get("mtime") or 0.0),
+                ))
+        refs = {
+            key: ref
+            for key, ref in (response.get("refs") or {}).items()
+            if isinstance(key, str) and plausible_digest(key)
+            and isinstance(ref, str) and plausible_digest(ref)
+        }
+        return objects, refs
+
+    def remote_stats(self) -> dict[str, Any]:
+        response = self._expect(
+            {"type": "stats", "v": PROTOCOL_VERSION}, "stats_result"
+        )
+        stats = response.get("stats")
+        return stats if isinstance(stats, dict) else {}
+
+    # -- the StoreBackend protocol --------------------------------------------
+
+    def locked(self) -> ContextManager[None]:
+        return nullcontext()  # the server serializes its own writes
+
+    def read_object(self, digest: str) -> bytes:
+        hit = self.fetch(digest=digest)
+        if hit is None:
+            raise FileNotFoundError(
+                f"object {digest[:12]}... not on {self.location()}"
+            )
+        return hit[1]
+
+    def write_object(
+        self, digest: str, data: bytes, durable: bool = True
+    ) -> None:
+        # durable is a local-disk concern; the server owns its fsyncs
+        self.push(digest, data)
+
+    def has_object(self, digest: str) -> bool:
+        return self.stat(digest=digest) is not None
+
+    def stat_object(self, digest: str) -> ObjectStat:
+        st = self.stat(digest=digest)
+        if st is None:
+            raise FileNotFoundError(
+                f"object {digest[:12]}... not on {self.location()}"
+            )
+        return st
+
+    def touch_object(self, digest: str) -> None:
+        pass  # the server touches on every served get
+
+    def delete_object(self, digest: str) -> bool:
+        return False  # the remote tier never deletes on request
+
+    def quarantine_object(self, digest: str) -> bool:
+        return False  # fsck runs server-side, on the server's store
+
+    def list_objects(self) -> list[ObjectStat]:
+        return self.inventory()[0]
+
+    def read_ref(self, key: str) -> str:
+        st = self.stat(key=key)
+        if st is None:
+            raise FileNotFoundError(
+                f"key {key[:12]}... not on {self.location()}"
+            )
+        return st.digest
+
+    def write_ref(
+        self, key: str, digest: str, durable: bool = True
+    ) -> None:
+        result = self.push(digest, None, key=key)
+        if result.get("missing"):
+            raise RemoteStoreError(
+                f"cannot index {key[:12]}...: object {digest[:12]}..."
+                f" is not on {self.location()} (upload it first)",
+                retryable=False,
+            )
+
+    def delete_ref(self, key: str) -> bool:
+        return False
+
+    def list_ref_keys(self) -> list[str]:
+        return sorted(self.inventory()[1])
+
+
+# -- the tiered store -------------------------------------------------------
+
+
+class TieredStore:
+    """L2 (local) over L3 (remote) with read-through, negative caching,
+    circuit breaking, and asynchronous write-behind.
+
+    Drop-in for :class:`~repro.image.store.ImageStore` where the
+    generating extension is concerned (``get``/``put``/``stats``/
+    ``gc``/``ls``); everything byte-level on the local side still goes
+    through the local store's backend.  ``local`` may be ``None``
+    (remote-only worker: every read is an L3 probe, every put only
+    write-behind).
+    """
+
+    def __init__(
+        self,
+        local: "ImageStore | None",
+        remote: RemoteStoreClient,
+        negative_ttl: float = 30.0,
+        retry_interval: float = 1.0,
+        max_queue: int = 256,
+    ):
+        self.local = local
+        self.remote = remote
+        self.negative_ttl = negative_ttl
+        self.retry_interval = retry_interval
+        self.max_queue = max_queue
+        self._lock = threading.Lock()
+        self._counters = {
+            "remote_hits": 0,
+            "remote_misses": 0,
+            "remote_errors": 0,
+            "remote_verify_failures": 0,
+            "negative_hits": 0,
+            "skipped_down": 0,
+            "replicated": 0,
+            "wb_enqueued": 0,
+            "wb_flushed": 0,
+            "wb_deduped": 0,
+            "wb_dropped": 0,
+            "wb_retries": 0,
+        }
+        self._negative: dict[str, float] = {}
+        self._down_until = 0.0
+        self._queue: Queue = Queue()
+        self._stop = threading.Event()
+        self._worker: threading.Thread | None = None
+
+    # -- plumbing -------------------------------------------------------------
+
+    def _count(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self._counters[name] += n
+
+    def _mark_down(self) -> None:
+        with self._lock:
+            self._down_until = time.monotonic() + self.retry_interval
+        obs.count("image.l3.down")
+
+    def _mark_up(self) -> None:
+        with self._lock:
+            self._down_until = 0.0
+
+    def _is_down(self) -> bool:
+        with self._lock:
+            return time.monotonic() < self._down_until
+
+    # -- reads ----------------------------------------------------------------
+
+    def get(
+        self,
+        key: StoreKey,
+        verify: bool = True,
+        check_fingerprint: bool = True,
+    ) -> "ResidualProgram | None":
+        if self.local is not None:
+            residual = self.local.get(
+                key, verify=verify, check_fingerprint=check_fingerprint
+            )
+            if residual is not None:
+                return residual
+        return self._get_remote(
+            key, verify=verify, check_fingerprint=check_fingerprint
+        )
+
+    def _get_remote(
+        self, key: StoreKey, verify: bool, check_fingerprint: bool
+    ) -> "ResidualProgram | None":
+        now = time.monotonic()
+        with self._lock:
+            expiry = self._negative.get(key.digest)
+            if expiry is not None:
+                if now < expiry:
+                    self._counters["negative_hits"] += 1
+                    obs.count("image.l3.negative_hit")
+                    return None
+                del self._negative[key.digest]
+            if now < self._down_until:
+                self._counters["skipped_down"] += 1
+                obs.count("image.l3.skipped_down")
+                return None
+        with obs.span("image.l3.fetch", key=key.digest[:12]) as sp:
+            try:
+                hit = self.remote.fetch(key=key.digest)
+            except RemoteStoreError:
+                self._mark_down()
+                self._count("remote_errors")
+                obs.count("image.l3.error")
+                return None
+            self._mark_up()
+            if hit is None:
+                with self._lock:
+                    self._negative[key.digest] = (
+                        time.monotonic() + self.negative_ttl
+                    )
+                self._count("remote_misses")
+                obs.count("image.l3.miss")
+                return None
+            digest, data = hit
+            if hashlib.sha256(data).hexdigest() != digest:
+                self._count("remote_errors")
+                obs.count("image.l3.error")
+                return None
+            try:
+                residual = decode_residual(
+                    data, check_fingerprint=check_fingerprint
+                )
+                if verify:
+                    with obs.span("image.verify_on_load"):
+                        verify_residual(residual)
+            except CodecError:
+                self._count("remote_errors")
+                obs.count("image.l3.error")
+                return None
+            except VerificationError:
+                self._count("remote_verify_failures")
+                obs.count("image.l3.verify_failure")
+                return None
+            sp.set(hit=True)
+        residual.stats["image_digest"] = digest
+        residual.stats["l3_hit"] = True
+        if self.local is not None and self.local.writable:
+            if self.local.adopt(key, digest, data):
+                self._count("replicated")
+                obs.count("image.tier.replicate")
+        self._count("remote_hits")
+        obs.count("image.l3.hit")
+        return residual
+
+    def load(
+        self,
+        digest: str,
+        verify: bool = True,
+        check_fingerprint: bool = True,
+    ) -> ResidualProgram:
+        if self.local is None:
+            raise FileNotFoundError(digest)
+        return self.local.load(
+            digest, verify=verify, check_fingerprint=check_fingerprint
+        )
+
+    # -- writes ---------------------------------------------------------------
+
+    def put(
+        self, key: StoreKey, residual: ResidualProgram
+    ) -> "str | None":
+        digest: str | None = None
+        data: bytes | None = None
+        if self.local is not None:
+            digest = self.local.put(key, residual)
+            if digest is not None:
+                data = self.local.read_object(digest)
+        if data is None:
+            try:
+                data = encode_residual(residual)
+            except CodecError:
+                return digest
+            digest = hashlib.sha256(data).hexdigest()
+        with self._lock:
+            self._negative.pop(key.digest, None)
+        self._enqueue(key.digest, digest, data)
+        return digest
+
+    def _enqueue(self, key_digest: str, digest: str, data: bytes) -> None:
+        with self._lock:
+            if self._stop.is_set():
+                return
+            if self._queue.qsize() >= self.max_queue:
+                # Saturated: the specializer never blocks on the
+                # network.  L2 already has the image; sync picks up
+                # anything dropped here.
+                self._counters["wb_dropped"] += 1
+                obs.count("image.l3.write_behind.drop")
+                return
+            self._queue.put((key_digest, digest, data))
+            self._counters["wb_enqueued"] += 1
+            obs.count("image.l3.write_behind.enqueue")
+            if self._worker is None or not self._worker.is_alive():
+                self._worker = threading.Thread(
+                    target=self._worker_loop,
+                    name="repro-store-write-behind", daemon=True,
+                )
+                self._worker.start()
+
+    def _worker_loop(self) -> None:
+        while True:
+            try:
+                item = self._queue.get(timeout=0.2)
+            except Empty:
+                if self._stop.is_set():
+                    return
+                continue
+            try:
+                if item is None:
+                    return  # shutdown sentinel
+                self._push_until_done(*item)
+            finally:
+                self._queue.task_done()
+
+    def _push_until_done(
+        self, key_digest: str, digest: str, data: bytes
+    ) -> None:
+        """Push one image, waiting out down periods; the worker is the
+        reconnect probe, so backlog drains as soon as L3 is back."""
+        while not self._stop.is_set():
+            with self._lock:
+                wait = self._down_until - time.monotonic()
+            if wait > 0:
+                if self._stop.wait(min(wait, self.retry_interval)):
+                    return
+                continue
+            try:
+                with obs.span("image.l3.push", digest=digest[:12]):
+                    result = self.remote.push(digest, data, key=key_digest)
+            except RemoteStoreError as exc:
+                if not exc.retryable:
+                    self._count("wb_dropped")
+                    obs.count("image.l3.write_behind.drop")
+                    return
+                self._mark_down()
+                self._count("wb_retries")
+                obs.count("image.l3.write_behind.retry")
+                continue
+            self._mark_up()
+            if result.get("deduped"):
+                self._count("wb_deduped")
+            self._count("wb_flushed")
+            obs.count("image.l3.write_behind.flush")
+            return
+
+    def flush(self, timeout: float = 10.0) -> bool:
+        """Block until the write-behind queue drains (or ``timeout``).
+        Returns whether it fully drained."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._queue.all_tasks_done:
+                if self._queue.unfinished_tasks == 0:
+                    return True
+            time.sleep(0.01)
+        with self._queue.all_tasks_done:
+            return self._queue.unfinished_tasks == 0
+
+    def close(self, flush: bool = True, timeout: float = 5.0) -> None:
+        if flush:
+            self.flush(timeout=timeout)
+        self._stop.set()
+        self._queue.put(None)
+        worker = self._worker
+        if worker is not None and worker.is_alive():
+            worker.join(timeout=timeout)
+        self.remote.close()
+
+    # -- bulk movement --------------------------------------------------------
+
+    def sync(self) -> dict[str, Any]:
+        """Push every local object and ref to L3, synchronously."""
+        if self.local is None:
+            raise ValueError("sync needs a local store tier")
+        self.flush()
+        return sync_stores(self.local, self.remote)
+
+    def prefetch(self) -> dict[str, Any]:
+        """Pull the remote inventory down into L2."""
+        if self.local is None:
+            raise ValueError("prefetch needs a local store tier")
+        return prefetch_store(self.local, self.remote)
+
+    # -- parity with ImageStore ----------------------------------------------
+
+    def ls(self, strict: bool = False) -> list[dict[str, Any]]:
+        return self.local.ls(strict=strict) if self.local else []
+
+    def gc(
+        self, max_bytes: "int | None" = None, dry_run: bool = False
+    ) -> dict[str, Any]:
+        if self.local is None:
+            return {
+                "removed_objects": 0, "removed_refs": 0,
+                "bytes_before": 0, "bytes_after": 0,
+            }
+        return self.local.gc(max_bytes=max_bytes, dry_run=dry_run)
+
+    @property
+    def writable(self) -> bool:
+        # Write-behind makes the tier writable even without a local
+        # store; with one, its verdict wins (put lands there first).
+        return self.local.writable if self.local is not None else True
+
+    def stats(self) -> dict[str, Any]:
+        if self.local is not None:
+            base = self.local.stats()
+        else:
+            base = {
+                "hits": 0, "misses": 0, "writes": 0, "write_errors": 0,
+                "read_errors": 0, "verify_failures": 0, "adopts": 0,
+                "gc_removed_objects": 0, "gc_removed_refs": 0,
+                "fsck_corrupt": 0, "writable": True, "root": None,
+            }
+        with self._lock:
+            counters = dict(self._counters)
+            down = time.monotonic() < self._down_until
+            negative_entries = len(self._negative)
+        base["remote"] = {
+            "endpoint": self.remote.location(),
+            "down": down,
+            "queue_depth": self._queue.qsize(),
+            "negative_entries": negative_entries,
+            **counters,
+        }
+        return base
+
+
+# -- bulk sync / prefetch ---------------------------------------------------
+
+
+def sync_stores(
+    local: ImageStore, remote: RemoteStoreClient
+) -> dict[str, Any]:
+    """Push every local object (and the index) up to the remote tier.
+
+    Dedups against the remote inventory by digest, so repeated syncs
+    only move new work.  Raises :class:`RemoteStoreError` when the
+    remote is unreachable — bulk movement is an explicit ops action, so
+    unlike the read/write paths it does *not* degrade silently.
+    """
+    with obs.span("image.sync", remote=remote.location()):
+        have_objects, have_refs = remote.inventory()
+        have = {st.digest for st in have_objects}
+        pushed = skipped = refs_written = errors = 0
+        try:
+            stats = local.backend.list_objects()
+        except OSError:
+            stats = []
+        for st in sorted(stats, key=lambda st: st.digest):
+            if not plausible_digest(st.digest):
+                continue
+            if st.digest in have:
+                skipped += 1
+                continue
+            data = local.read_object(st.digest)
+            if data is None:
+                errors += 1  # torn local object: fsck's problem
+                continue
+            remote.push(st.digest, data)
+            have.add(st.digest)
+            pushed += 1
+        try:
+            keys = local.backend.list_ref_keys()
+        except OSError:
+            keys = []
+        for key in sorted(keys):
+            try:
+                digest = local.backend.read_ref(key)
+            except OSError:
+                continue
+            if not plausible_digest(digest) or digest not in have:
+                continue
+            if have_refs.get(key) == digest:
+                continue
+            remote.push(digest, None, key=key)
+            refs_written += 1
+        report = {
+            "objects_pushed": pushed,
+            "objects_deduped": skipped,
+            "refs_written": refs_written,
+            "errors": errors,
+            "remote": remote.location(),
+        }
+        obs.count("image.sync.objects", pushed)
+        return report
+
+
+def prefetch_store(
+    local: ImageStore, remote: RemoteStoreClient
+) -> dict[str, Any]:
+    """Pull the remote inventory down into the local store.
+
+    Payloads are content-address-checked before adoption but *not*
+    template-verified here — prefetched images stay untrusted until
+    verify-on-load passes at first use, same as any disk image.  Raises
+    :class:`RemoteStoreError` when the remote is unreachable.
+    """
+    with obs.span("image.prefetch", remote=remote.location()):
+        _objects, refs = remote.inventory()
+        fetched = skipped = refs_written = errors = 0
+        payloads: dict[str, bool] = {}  # digest -> now-present locally
+        for key, digest in sorted(refs.items()):
+            present = payloads.get(digest)
+            if present is None:
+                present = local.backend.has_object(digest)
+                if not present:
+                    hit = remote.fetch(digest=digest)
+                    if (
+                        hit is None
+                        or hashlib.sha256(hit[1]).hexdigest() != digest
+                    ):
+                        errors += 1
+                        payloads[digest] = False
+                        continue
+                    present = local.adopt(StoreKey(key), digest, hit[1])
+                    if present:
+                        fetched += 1
+                        refs_written += 1
+                        payloads[digest] = True
+                        continue
+                    errors += 1
+                    payloads[digest] = False
+                    continue
+                payloads[digest] = True
+            if not present:
+                errors += 1
+                continue
+            try:
+                current = local.backend.read_ref(key)
+            except OSError:
+                current = None
+            if current == digest:
+                skipped += 1
+                continue
+            try:
+                with local.backend.locked():
+                    local.backend.write_ref(key, digest)
+                refs_written += 1
+            except OSError:
+                errors += 1
+        report = {
+            "objects_fetched": fetched,
+            "refs_written": refs_written,
+            "refs_current": skipped,
+            "errors": errors,
+            "remote": remote.location(),
+        }
+        obs.count("image.prefetch.objects", fetched)
+        return report
+
+
+@contextmanager
+def tiered(
+    local_dir: "str | Path | None",
+    endpoint: "str | tuple[str, int]",
+    **kwargs: Any,
+) -> Iterator[TieredStore]:
+    """``with tiered("/var/store", "cache-host:7459") as store: ...`` —
+    a closed-on-exit tiered store for scripts and tests."""
+    host, port = parse_endpoint(endpoint)
+    local = ImageStore(local_dir) if local_dir is not None else None
+    store = TieredStore(local, RemoteStoreClient(host, port), **kwargs)
+    try:
+        yield store
+    finally:
+        store.close()

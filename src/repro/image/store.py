@@ -1,4 +1,4 @@
-"""A content-addressed on-disk store for residual-code images.
+"""A content-addressed store for residual-code images.
 
 The process-level residual cache (:mod:`repro.pe.residual_cache`) makes
 *re-application* of a generating extension a lookup — but only within one
@@ -10,22 +10,35 @@ backend kind)`` — to the content address.  A fresh process (or another
 process on the same machine) warm-starts by hitting the index instead of
 re-running the specializer.
 
+Byte-level storage is behind the :class:`StoreBackend` protocol:
+:class:`LocalStoreBackend` is the original content-addressed directory
+layout, and :class:`repro.image.remote.RemoteStoreClient` speaks the same
+protocol over TCP so stores can be tiered across machines
+(:class:`repro.image.remote.TieredStore`).
+
 Robustness properties:
 
-* **Atomic writes** — objects and index refs are written to a temporary
-  file and ``os.replace``\\ d into place, so readers never observe a
-  half-written image (the CRC would catch one anyway).
+* **Atomic, durable writes** — objects and index refs are written to a
+  temporary file, flushed and ``fsync``\\ ed, then ``os.replace``\\ d into
+  place (with a best-effort directory fsync), so readers never observe a
+  half-written image and a crash cannot leave a torn object behind the
+  rename.
 * **Advisory locking** — writers and the garbage collector take an
   ``fcntl`` lock on ``<root>/.lock`` so concurrent processes do not race
   gc against writes.  Readers rely on atomic replacement and take no lock.
 * **Graceful degradation** — an unwritable or missing store directory
   never breaks specialization: writes are counted as errors and skipped,
-  reads simply miss, and the extension falls back to generating.
+  reads simply miss, and the extension falls back to generating.  A torn
+  or malformed index ref is a miss, never an exception, and
+  :meth:`ImageStore.gc` prunes it.
 * **Trust boundary** — every image read from disk is *untrusted*; by
   default each loaded template is re-checked by the bytecode verifier
   before the residual program is returned.
 * **Bounded size** — :meth:`ImageStore.gc` evicts least-recently-used
   objects until the store fits ``max_bytes`` and drops dangling refs.
+* **Repair** — :meth:`ImageStore.fsck` scans every object, quarantines
+  anything torn (content-address or framing mismatch), and prunes the
+  refs that pointed at it.
 """
 
 from __future__ import annotations
@@ -37,7 +50,7 @@ import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Iterator
+from typing import Any, ContextManager, Iterator, Protocol, runtime_checkable
 
 from repro import obs
 from repro.image.codec import (
@@ -72,6 +85,28 @@ class StoreKey:
 
     def __str__(self) -> str:
         return self.digest
+
+
+@dataclass(frozen=True, slots=True)
+class ObjectStat:
+    """Size and recency of one stored object, keyed by content digest."""
+
+    digest: str
+    size: int
+    mtime: float
+
+
+_HEX_DIGITS = frozenset("0123456789abcdef")
+
+
+def plausible_digest(digest: str) -> bool:
+    """Whether ``digest`` is shaped like a SHA-256 hex content address.
+
+    A torn index-ref write can leave an empty or garbage ref behind;
+    treating those as addresses would turn a miss into an exception (an
+    empty ref names the objects *directory*).
+    """
+    return len(digest) == 64 and all(c in _HEX_DIGITS for c in digest)
 
 
 # Freeze tags (repro.pe.values._freeze) that embed ``id()`` and are
@@ -153,35 +188,92 @@ def verify_residual(residual: ResidualProgram) -> None:
             verify_template(value.template)
 
 
-class ImageStore:
-    """A content-addressed store of residual-code images on disk.
+@runtime_checkable
+class StoreBackend(Protocol):
+    """Byte-level storage behind :class:`ImageStore`.
 
-    Layout::
-
-        <root>/objects/<aa>/<digest>   framed image bytes (content address)
-        <root>/index/<key digest>      text file naming an object digest
-        <root>/.lock                   advisory write/gc lock
-
-    ``max_bytes`` (optional) bounds the total object payload; exceeding
-    it triggers an LRU :meth:`gc` after each write.
+    A backend stores opaque object payloads keyed by SHA-256 content
+    digest plus a flat ``key digest -> object digest`` reference index.
+    All methods raise :class:`OSError` (or a subclass — the remote
+    backend's transport error is one) on storage failure; ``ImageStore``
+    maps those to misses and error counters.  Backends do **not**
+    decode, hash-check, or verify payloads — integrity and trust stay in
+    ``ImageStore``, so a hostile or corrupt backend can never hand the
+    process unverified code.
     """
 
-    def __init__(self, root: str | os.PathLike, max_bytes: int | None = None):
+    writable: bool
+
+    def location(self) -> str:
+        """Human-readable backend address (path or host:port)."""
+        ...
+
+    def locked(self) -> ContextManager[None]:
+        """Exclusive advisory lock spanning a write/gc critical section."""
+        ...
+
+    def read_object(self, digest: str) -> bytes:
+        """Return the payload stored at ``digest``; raise ``OSError``
+        (``FileNotFoundError`` for a missing object) otherwise."""
+        ...
+
+    def write_object(
+        self, digest: str, data: bytes, durable: bool = True
+    ) -> None:
+        """Store ``data`` at ``digest``.  ``durable=False`` may skip
+        crash-durability (fsync) — callers use it only for payloads that
+        are reconstructible from another tier."""
+        ...
+
+    def has_object(self, digest: str) -> bool: ...
+
+    def stat_object(self, digest: str) -> ObjectStat: ...
+
+    def touch_object(self, digest: str) -> None:
+        """Mark ``digest`` recently used (LRU recency); best-effort."""
+        ...
+
+    def delete_object(self, digest: str) -> bool: ...
+
+    def quarantine_object(self, digest: str) -> bool:
+        """Move a corrupt object out of the addressable namespace (or
+        delete it when the backend has no quarantine area)."""
+        ...
+
+    def list_objects(self) -> list[ObjectStat]: ...
+
+    def read_ref(self, key: str) -> str: ...
+
+    def write_ref(
+        self, key: str, digest: str, durable: bool = True
+    ) -> None: ...
+
+    def delete_ref(self, key: str) -> bool: ...
+
+    def list_ref_keys(self) -> list[str]: ...
+
+
+class LocalStoreBackend:
+    """The content-addressed directory layout, extracted from the
+    original ``ImageStore`` unchanged except for durability::
+
+        <root>/objects/<aa>/<digest>   opaque payload (content address)
+        <root>/index/<key digest>      text file naming an object digest
+        <root>/quarantine/<digest>     objects fsck moved aside
+        <root>/.lock                   advisory write/gc lock
+
+    Writes are atomic **and durable**: the temp file is flushed and
+    fsynced before ``os.replace``, and the parent directory is fsynced
+    after (best-effort), so a crash right after a "successful" write
+    cannot resurrect as a zero-length or torn object.
+    """
+
+    def __init__(self, root: str | os.PathLike):
         self.root = Path(root)
         self.objects_dir = self.root / "objects"
         self.index_dir = self.root / "index"
+        self.quarantine_dir = self.root / "quarantine"
         self._lock_path = self.root / ".lock"
-        self.max_bytes = max_bytes
-        self._counter_lock = threading.Lock()
-        self._counters = {
-            "hits": 0,
-            "misses": 0,
-            "writes": 0,
-            "write_errors": 0,
-            "read_errors": 0,
-            "verify_failures": 0,
-            "gc_removed_objects": 0,
-        }
         self.writable = True
         try:
             self.objects_dir.mkdir(parents=True, exist_ok=True)
@@ -190,15 +282,11 @@ class ImageStore:
             # Missing and uncreatable, or read-only: reads may still work.
             self.writable = False
 
-    # -- internals ------------------------------------------------------------
-
-    def _count(self, name: str, n: int = 1) -> None:
-        with self._counter_lock:
-            self._counters[name] += n
+    def location(self) -> str:
+        return str(self.root)
 
     @contextmanager
-    def _locked(self) -> Iterator[None]:
-        """Advisory exclusive lock for multi-process write/gc safety."""
+    def _locked_cm(self) -> Iterator[None]:
         if fcntl is None:
             yield
             return
@@ -216,12 +304,23 @@ class ImageStore:
             finally:
                 fh.close()
 
-    def _atomic_write(self, path: Path, data: bytes) -> None:
+    def locked(self) -> ContextManager[None]:
+        return self._locked_cm()
+
+    def _object_path(self, digest: str) -> Path:
+        return self.objects_dir / digest[:2] / digest
+
+    def _atomic_write(
+        self, path: Path, data: bytes, durable: bool = True
+    ) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=".tmp-")
         try:
             with os.fdopen(fd, "wb") as fh:
                 fh.write(data)
+                if durable:
+                    fh.flush()
+                    os.fsync(fh.fileno())
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -229,14 +328,196 @@ class ImageStore:
             except OSError:
                 pass
             raise
+        if durable:
+            self._fsync_dir(path.parent)
+
+    @staticmethod
+    def _fsync_dir(path: Path) -> None:
+        """Persist a rename by fsyncing its directory (best-effort: some
+        filesystems refuse to fsync a directory fd)."""
+        try:
+            dirfd = os.open(path, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(dirfd)
+        except OSError:
+            pass
+        finally:
+            os.close(dirfd)
+
+    # -- objects --------------------------------------------------------------
+
+    def read_object(self, digest: str) -> bytes:
+        if not plausible_digest(digest):
+            raise FileNotFoundError(f"malformed object digest {digest!r}")
+        return self._object_path(digest).read_bytes()
+
+    def write_object(
+        self, digest: str, data: bytes, durable: bool = True
+    ) -> None:
+        self._atomic_write(self._object_path(digest), data, durable=durable)
+
+    def has_object(self, digest: str) -> bool:
+        return (
+            plausible_digest(digest)
+            and self._object_path(digest).is_file()
+        )
+
+    def stat_object(self, digest: str) -> ObjectStat:
+        if not plausible_digest(digest):
+            raise FileNotFoundError(f"malformed object digest {digest!r}")
+        st = self._object_path(digest).stat()
+        return ObjectStat(digest=digest, size=st.st_size, mtime=st.st_mtime)
+
+    def touch_object(self, digest: str) -> None:
+        try:
+            os.utime(self._object_path(digest))
+        except OSError:
+            pass
+
+    def delete_object(self, digest: str) -> bool:
+        try:
+            self._object_path(digest).unlink()
+        except OSError:
+            return False
+        return True
+
+    def quarantine_object(self, digest: str) -> bool:
+        src = self._object_path(digest)
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(src, self.quarantine_dir / digest)
+            return True
+        except OSError:
+            return self.delete_object(digest)
+
+    def list_objects(self) -> list[ObjectStat]:
+        out: list[ObjectStat] = []
+        for shard in self.objects_dir.iterdir():
+            if not shard.is_dir():
+                continue
+            try:
+                entries = list(shard.iterdir())
+            except OSError:
+                continue
+            for obj in entries:
+                if obj.name.startswith("."):
+                    continue
+                try:
+                    st = obj.stat()
+                except OSError:
+                    continue
+                out.append(
+                    ObjectStat(
+                        digest=obj.name, size=st.st_size, mtime=st.st_mtime
+                    )
+                )
+        return out
+
+    # -- refs -----------------------------------------------------------------
+
+    def read_ref(self, key: str) -> str:
+        return (self.index_dir / key).read_text().strip()
+
+    def write_ref(
+        self, key: str, digest: str, durable: bool = True
+    ) -> None:
+        self._atomic_write(
+            self.index_dir / key, (digest + "\n").encode("ascii"),
+            durable=durable,
+        )
+
+    def delete_ref(self, key: str) -> bool:
+        try:
+            (self.index_dir / key).unlink()
+        except OSError:
+            return False
+        return True
+
+    def list_ref_keys(self) -> list[str]:
+        return sorted(
+            ref.name
+            for ref in self.index_dir.iterdir()
+            if not ref.name.startswith(".")
+        )
+
+
+class ImageStore:
+    """A content-addressed store of residual-code images.
+
+    Integrity, trust, counters, and eviction policy live here; byte
+    storage is delegated to a :class:`StoreBackend`
+    (:class:`LocalStoreBackend` over ``root`` by default).
+
+    ``max_bytes`` (optional) bounds the total object payload; exceeding
+    it triggers an LRU :meth:`gc` after each write.
+    """
+
+    def __init__(
+        self,
+        root: str | os.PathLike | None = None,
+        max_bytes: int | None = None,
+        backend: StoreBackend | None = None,
+    ):
+        if backend is None:
+            if root is None:
+                raise ValueError("ImageStore needs a root or a backend")
+            backend = LocalStoreBackend(root)
+        self.backend = backend
+        self.root = Path(root) if root is not None else Path(
+            backend.location()
+        )
+        self.max_bytes = max_bytes
+        self._counter_lock = threading.Lock()
+        self._counters = {
+            "hits": 0,
+            "misses": 0,
+            "writes": 0,
+            "write_errors": 0,
+            "read_errors": 0,
+            "verify_failures": 0,
+            "adopts": 0,
+            "gc_removed_objects": 0,
+            "gc_removed_refs": 0,
+            "fsck_corrupt": 0,
+        }
+
+    @property
+    def writable(self) -> bool:
+        return self.backend.writable
+
+    # -- local-backend conveniences (tests and the CLI reach for these) -------
+
+    @property
+    def objects_dir(self) -> Path:
+        return self.backend.objects_dir  # type: ignore[attr-defined]
+
+    @property
+    def index_dir(self) -> Path:
+        return self.backend.index_dir  # type: ignore[attr-defined]
 
     def _object_path(self, digest: str) -> Path:
-        return self.objects_dir / digest[:2] / digest
+        return self.backend._object_path(digest)  # type: ignore[attr-defined]
+
+    def _atomic_write(self, path: Path, data: bytes) -> None:
+        self.backend._atomic_write(path, data)  # type: ignore[attr-defined]
+
+    # -- internals ------------------------------------------------------------
+
+    def _count(self, name: str, n: int = 1) -> None:
+        with self._counter_lock:
+            self._counters[name] += n
+
+    @contextmanager
+    def _locked(self) -> Iterator[None]:
+        with self.backend.locked():
+            yield
 
     # -- the store API --------------------------------------------------------
 
     def put(self, key: StoreKey, residual: ResidualProgram) -> str | None:
-        """Write ``residual`` through to disk under ``key``.
+        """Write ``residual`` through under ``key``.
 
         Returns the content digest, or ``None`` when the store is
         unwritable or the program is not imageable — persistence
@@ -256,13 +537,9 @@ class ImageStore:
             digest = hashlib.sha256(data).hexdigest()
             try:
                 with self._locked():
-                    obj = self._object_path(digest)
-                    if not obj.exists():
-                        self._atomic_write(obj, data)
-                    self._atomic_write(
-                        self.index_dir / key.digest,
-                        (digest + "\n").encode("ascii"),
-                    )
+                    if not self.backend.has_object(digest):
+                        self.backend.write_object(digest, data)
+                    self.backend.write_ref(key.digest, digest)
                     if self.max_bytes is not None:
                         self._gc_locked(self.max_bytes)
             except OSError:
@@ -274,6 +551,52 @@ class ImageStore:
             obs.observe("image.l2.bytes", len(data))
             return digest
 
+    def adopt(self, key: StoreKey, digest: str, data: bytes) -> bool:
+        """Adopt already-encoded image bytes (e.g. replicated down from
+        a remote tier) under ``key``.
+
+        The content address is re-checked before anything touches the
+        backend; the payload stays untrusted until :meth:`get` verifies
+        it on the next load.  Returns ``True`` when stored.
+
+        Adopted bytes are written **non-durably** (no fsync): unlike
+        :meth:`put`, a replica is reconstructible from the tier it came
+        from, every load re-checks the content address anyway, and the
+        fsyncs would otherwise tax the remote *read* path.
+        """
+        if not self.writable:
+            self._count("write_errors")
+            return False
+        if hashlib.sha256(data).hexdigest() != digest:
+            self._count("write_errors")
+            obs.count("image.l2.write_error")
+            return False
+        try:
+            with self._locked():
+                if not self.backend.has_object(digest):
+                    self.backend.write_object(digest, data, durable=False)
+                self.backend.write_ref(key.digest, digest, durable=False)
+                if self.max_bytes is not None:
+                    self._gc_locked(self.max_bytes)
+        except OSError:
+            self._count("write_errors")
+            obs.count("image.l2.write_error")
+            return False
+        self._count("adopts")
+        obs.count("image.l2.adopt")
+        return True
+
+    def read_object(self, digest: str) -> bytes | None:
+        """Raw framed image bytes for ``digest`` (content-checked), or
+        ``None`` — used by the tiered store's write-behind path."""
+        try:
+            data = self.backend.read_object(digest)
+        except OSError:
+            return None
+        if hashlib.sha256(data).hexdigest() != digest:
+            return None
+        return data
+
     def get(
         self,
         key: StoreKey,
@@ -283,14 +606,22 @@ class ImageStore:
         """Look ``key`` up; decode, and (by default) verify, on a hit.
 
         Returns ``None`` on a miss *or* on any integrity failure — a
-        corrupt or unverifiable image behaves like a miss, and the
-        caller regenerates.
+        corrupt image, a torn ref, or an object gc'd between the index
+        read and the load all behave like a miss, and the caller
+        regenerates.
         """
         with obs.span("image.probe", key=key.digest[:12]) as sp:
             try:
-                ref = (self.index_dir / key.digest).read_text().strip()
+                ref = self.backend.read_ref(key.digest)
             except OSError:
                 self._count("misses")
+                obs.count("image.l2.miss")
+                return None
+            if not plausible_digest(ref):
+                # A torn ref write; gc() will prune it.
+                self._count("read_errors")
+                self._count("misses")
+                obs.count("image.l2.read_error")
                 obs.count("image.l2.miss")
                 return None
             try:
@@ -299,6 +630,12 @@ class ImageStore:
                 )
             except FileNotFoundError:
                 self._count("misses")
+                obs.count("image.l2.miss")
+                return None
+            except OSError:
+                self._count("read_errors")
+                self._count("misses")
+                obs.count("image.l2.read_error")
                 obs.count("image.l2.miss")
                 return None
             except CodecError:
@@ -330,8 +667,7 @@ class ImageStore:
         :class:`~repro.vm.verify.VerificationError` when the loaded
         object code does not verify."""
         with obs.span("image.load", digest=digest[:12]):
-            path = self._object_path(digest)
-            data = path.read_bytes()
+            data = self.backend.read_object(digest)
             actual = hashlib.sha256(data).hexdigest()
             if actual != digest:
                 raise CodecError(
@@ -345,10 +681,7 @@ class ImageStore:
                 with obs.span("image.verify_on_load"):
                     self._verify(residual)
         residual.stats["image_digest"] = digest
-        try:
-            os.utime(path)  # LRU recency for gc()
-        except OSError:
-            pass
+        self.backend.touch_object(digest)  # LRU recency for gc()
         return residual
 
     @staticmethod
@@ -364,28 +697,25 @@ class ImageStore:
         miss).  ``strict=True`` raises :class:`OSError` instead — the
         CLI's ops story wants "this store is broken", not "this store
         is empty"."""
-        entries = []
+        entries: list[dict[str, Any]] = []
         try:
-            refs = sorted(self.index_dir.iterdir())
+            keys = self.backend.list_ref_keys()
         except OSError as exc:
             if strict:
                 raise OSError(
                     f"cannot read image store at {self.root}: {exc}"
                 ) from exc
             return entries
-        for ref in refs:
-            if ref.name.startswith("."):
-                continue
-            entry: dict[str, Any] = {"key": ref.name}
+        for key in keys:
+            entry: dict[str, Any] = {"key": key}
             try:
-                digest = ref.read_text().strip()
+                digest = self.backend.read_ref(key)
                 entry["object"] = digest
-                path = self._object_path(digest)
-                st = path.stat()
-                entry["bytes"] = st.st_size
-                entry["mtime"] = st.st_mtime
+                st = self.backend.stat_object(digest)
+                entry["bytes"] = st.size
+                entry["mtime"] = st.mtime
                 residual = decode_residual(
-                    path.read_bytes(), check_fingerprint=False
+                    self.backend.read_object(digest), check_fingerprint=False
                 )
                 entry["goal"] = residual.goal.name
                 entry["params"] = [p.name for p in residual.goal_params]
@@ -401,7 +731,8 @@ class ImageStore:
         self, max_bytes: int | None = None, dry_run: bool = False
     ) -> dict[str, Any]:
         """Evict least-recently-used objects beyond the size budget and
-        drop index refs to missing objects.
+        drop index refs that dangle — refs to missing objects *and*
+        torn/malformed refs a crashed writer left behind.
 
         ``dry_run`` reports what *would* be evicted — the object digests
         and the bytes that would be reclaimed — without unlinking
@@ -415,21 +746,11 @@ class ImageStore:
     def _gc_locked(
         self, limit: int | None, dry_run: bool = False
     ) -> dict[str, Any]:
-        objects: list[tuple[float, int, Path]] = []
-        total = 0
         try:
-            for shard in self.objects_dir.iterdir():
-                if not shard.is_dir():
-                    continue
-                for obj in shard.iterdir():
-                    if obj.name.startswith("."):
-                        continue
-                    try:
-                        st = obj.stat()
-                    except OSError:
-                        continue
-                    objects.append((st.st_mtime, st.st_size, obj))
-                    total += st.st_size
+            objects = sorted(
+                self.backend.list_objects(),
+                key=lambda st: (st.mtime, st.size, st.digest),
+            )
         except OSError:
             report: dict[str, Any] = {
                 "removed_objects": 0, "removed_refs": 0,
@@ -439,50 +760,49 @@ class ImageStore:
                 report["dry_run"] = True
                 report["would_remove"] = []
             return report
+        total = sum(st.size for st in objects)
         before = total
         removed = 0
         doomed: set[str] = set()
         would_remove: list[dict[str, Any]] = []
         if limit is not None and total > limit:
-            for _, size, obj in sorted(objects):  # oldest first
+            for st in objects:  # oldest first
                 if total <= limit:
                     break
                 if dry_run:
-                    would_remove.append({"object": obj.name, "bytes": size})
-                else:
-                    try:
-                        obj.unlink()
-                    except OSError:
-                        continue
-                doomed.add(obj.name)
-                total -= size
+                    would_remove.append(
+                        {"object": st.digest, "bytes": st.size}
+                    )
+                elif not self.backend.delete_object(st.digest):
+                    continue
+                doomed.add(st.digest)
+                total -= st.size
                 removed += 1
         removed_refs = 0
         try:
-            for ref in self.index_dir.iterdir():
-                if ref.name.startswith("."):
-                    continue
-                try:
-                    digest = ref.read_text().strip()
-                except OSError:
-                    continue
-                dangling = (
-                    digest in doomed
-                    or not self._object_path(digest).exists()
-                )
-                if dangling:
-                    if dry_run:
-                        removed_refs += 1
-                        continue
-                    try:
-                        ref.unlink()
-                        removed_refs += 1
-                    except OSError:
-                        pass
+            keys = self.backend.list_ref_keys()
         except OSError:
-            pass
-        if removed and not dry_run:
-            self._count("gc_removed_objects", removed)
+            keys = []
+        for key in keys:
+            try:
+                digest = self.backend.read_ref(key)
+            except OSError:
+                continue
+            dangling = (
+                not plausible_digest(digest)  # torn/garbage ref
+                or digest in doomed
+                or not self.backend.has_object(digest)
+            )
+            if dangling:
+                if dry_run:
+                    removed_refs += 1
+                elif self.backend.delete_ref(key):
+                    removed_refs += 1
+        if not dry_run:
+            if removed:
+                self._count("gc_removed_objects", removed)
+            if removed_refs:
+                self._count("gc_removed_refs", removed_refs)
         report = {
             "removed_objects": removed,
             "removed_refs": removed_refs,
@@ -493,6 +813,66 @@ class ImageStore:
             report["dry_run"] = True
             report["would_remove"] = would_remove
         return report
+
+    def fsck(self) -> dict[str, Any]:
+        """Scan every object for corruption and repair the store.
+
+        Each object is re-hashed against its content address and its
+        framing is decoded (CRC-checked); anything torn — e.g. a
+        zero-length object left by a crash before the durability fix —
+        is quarantined (moved aside, or deleted when that fails) and the
+        index refs pointing at it are pruned, so later gets miss cleanly
+        instead of paying a read error forever.
+        """
+        with self._locked():
+            checked = 0
+            corrupt: list[str] = []
+            try:
+                objects = self.backend.list_objects()
+            except OSError:
+                objects = []
+            for st in objects:
+                checked += 1
+                try:
+                    data = self.backend.read_object(st.digest)
+                except OSError:
+                    corrupt.append(st.digest)
+                    continue
+                if hashlib.sha256(data).hexdigest() != st.digest:
+                    corrupt.append(st.digest)
+                    continue
+                try:
+                    decode_residual(data, check_fingerprint=False)
+                except CodecError:
+                    corrupt.append(st.digest)
+            quarantined = 0
+            for digest in corrupt:
+                if self.backend.quarantine_object(digest):
+                    quarantined += 1
+            corrupt_set = set(corrupt)
+            removed_refs = 0
+            try:
+                keys = self.backend.list_ref_keys()
+            except OSError:
+                keys = []
+            for key in keys:
+                try:
+                    digest = self.backend.read_ref(key)
+                except OSError:
+                    continue
+                if not plausible_digest(digest) or digest in corrupt_set:
+                    if self.backend.delete_ref(key):
+                        removed_refs += 1
+        if corrupt:
+            self._count("fsck_corrupt", len(corrupt))
+            obs.count("image.l2.fsck_corrupt", len(corrupt))
+        return {
+            "checked": checked,
+            "corrupt": corrupt,
+            "quarantined": quarantined,
+            "removed_refs": removed_refs,
+            "ok": not corrupt,
+        }
 
     def stats(self) -> dict[str, Any]:
         """A snapshot of the store counters."""

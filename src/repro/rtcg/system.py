@@ -17,6 +17,7 @@ from repro.lang.ast import Program
 from repro.lang.gensym import Gensym
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.image.remote import TieredStore
     from repro.image.store import ImageStore
     from repro.pe.cogen import CompiledGeneratingExtension
 from repro.lang.parser import parse_program
@@ -185,6 +186,17 @@ class GeneratingExtension:
     verifier unless ``verify_on_load=False`` (or the application itself
     opted out with ``verify=False``).  ``store_max_bytes`` bounds the
     store; eviction is LRU.
+
+    ``remote_store`` (a ``"host:port"`` endpoint of a
+    ``python -m repro image serve-store`` object server, or a
+    pre-built :class:`~repro.image.remote.RemoteStoreClient`) adds an
+    **L3 tier** behind the local store: an L2 miss reads through to the
+    remote (replicating hits back down), and writes are pushed behind
+    asynchronously, so a fleet of workers shares one warm cache.  Remote
+    images are exactly as untrusted as local ones — verify-on-load is
+    the trust boundary for both.  With ``store_dir=None`` the extension
+    runs remote-only.  Call :meth:`flush_store` before process exit to
+    drain the write-behind queue.
     """
 
     def __init__(
@@ -198,6 +210,7 @@ class GeneratingExtension:
         cache_size: int = 128,
         store_dir: Any = None,
         store_max_bytes: int | None = None,
+        remote_store: Any = None,
         verify_on_load: bool = True,
         analyze: str = "warn",
         max_unfold_depth: int = 5_000,
@@ -272,12 +285,30 @@ class GeneratingExtension:
         self._cache_size = cache_size
         self.cache = ResidualCache(cache_size)
         self.verify_on_load = verify_on_load
-        self.store: "ImageStore | None" = None
+        self.store: "ImageStore | TieredStore | None" = None
         self._program_digest: str | None = None
-        if store_dir is not None:
-            from repro.image.store import ImageStore
+        if store_dir is not None or remote_store is not None:
+            local = None
+            if store_dir is not None:
+                from repro.image.store import ImageStore
 
-            self.store = ImageStore(store_dir, max_bytes=store_max_bytes)
+                local = ImageStore(store_dir, max_bytes=store_max_bytes)
+            if remote_store is not None:
+                from repro.image.remote import (
+                    RemoteStoreClient,
+                    TieredStore,
+                    parse_endpoint,
+                )
+
+                if isinstance(remote_store, RemoteStoreClient):
+                    client = remote_store
+                else:
+                    host, port = parse_endpoint(remote_store)
+                    client = RemoteStoreClient(host, port)
+                self.store = TieredStore(local, client)
+                obs.count("rtcg.remote_store_attached")
+            else:
+                self.store = local
             self._program_digest = program_digest(
                 program, signature, memo_hints, unfold_hints,
                 bta=bta, max_variants=max_variants,
@@ -669,6 +700,22 @@ class GeneratingExtension:
     def cache_clear(self) -> None:
         self.cache.clear()
 
+    def flush_store(self, timeout: float = 10.0) -> bool:
+        """Drain the tiered store's write-behind queue so every image
+        this process generated reaches the shared remote tier.  A
+        no-op (``True``) without a remote store."""
+        flush = getattr(self.store, "flush", None)
+        if flush is None:
+            return True
+        return bool(flush(timeout=timeout))
+
+    def close_store(self, flush: bool = True, timeout: float = 5.0) -> None:
+        """Shut down the tiered store's worker thread and connection
+        (optionally flushing first).  A no-op without a remote store."""
+        close = getattr(self.store, "close", None)
+        if close is not None:
+            close(flush=flush, timeout=timeout)
+
 
 def make_generating_extension(
     program: Program | str,
@@ -679,6 +726,7 @@ def make_generating_extension(
     cache_size: int = 128,
     store_dir: Any = None,
     store_max_bytes: int | None = None,
+    remote_store: Any = None,
     verify_on_load: bool = True,
     analyze: str = "warn",
     max_unfold_depth: int = 5_000,
@@ -693,6 +741,7 @@ def make_generating_extension(
         program, signature, goal=goal, memo_hints=memo_hints,
         unfold_hints=unfold_hints, cache_size=cache_size,
         store_dir=store_dir, store_max_bytes=store_max_bytes,
+        remote_store=remote_store,
         verify_on_load=verify_on_load, analyze=analyze,
         max_unfold_depth=max_unfold_depth,
         max_residual_size=max_residual_size,

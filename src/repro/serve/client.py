@@ -97,11 +97,24 @@ class SpecializationClient:
         :class:`ConnectionError` when the server hangs up (e.g. after a
         ``BAD_FRAME``, or a pool-full ``BUSY`` at accept time — that
         one arrives as a :class:`ServiceError` first).
+
+        Any *transport-level* failure mid-exchange — a ``socket.timeout``
+        or peer reset from ``send_frame``/``recv_frame``, or a torn
+        frame (:class:`FrameError`) — closes and resets the connection
+        before the exception propagates: the stream may hold half a
+        frame, and reusing it would desync every later exchange on this
+        client.  The next :meth:`request` transparently reconnects.
+        (A :class:`ServiceError` arrives on an in-sync stream and keeps
+        the connection open.)
         """
         self.connect()
         assert self._sock is not None
-        send_frame(self._sock, frame, max_bytes=self.max_frame_bytes)
-        response = recv_frame(self._sock, max_bytes=self.max_frame_bytes)
+        try:
+            send_frame(self._sock, frame, max_bytes=self.max_frame_bytes)
+            response = recv_frame(self._sock, max_bytes=self.max_frame_bytes)
+        except (OSError, FrameError):
+            self.close()
+            raise
         if response is None:
             self.close()
             raise ConnectionError(

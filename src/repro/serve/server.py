@@ -142,6 +142,10 @@ class _Tenant:
         with self._lock:
             return self._extensions.get(key)
 
+    def extensions(self) -> list[GeneratingExtension]:
+        with self._lock:
+            return list(self._extensions.values())
+
     def get_extension(self, key: tuple, build) -> GeneratingExtension:
         with self._lock:
             ext = self._extensions.get(key)
@@ -190,8 +194,12 @@ class SpecializationServer:
     ``trusted`` names tenants whose programs get ``warn`` admission
     semantics; everyone else is untrusted (``forbid``).  ``store_dir``
     attaches a per-tenant-sharded L2 image store, so residuals survive
-    server restarts.  Use as a context manager, or call :meth:`start` /
-    :meth:`stop`.
+    server restarts.  ``remote_store`` (``"host:port"`` of an
+    ``image serve-store`` object server) attaches a shared L3 tier
+    behind every tenant's L2, so a fleet of server replicas shares one
+    warm cache — replica N's cold start reads replica 1's images
+    through the network (and re-verifies them on load).  Use as a
+    context manager, or call :meth:`start` / :meth:`stop`.
     """
 
     def __init__(
@@ -202,6 +210,7 @@ class SpecializationServer:
         quota: TenantQuota | None = None,
         trusted: Iterable[str] = (),
         store_dir: str | Path | None = None,
+        remote_store: str | None = None,
         max_frame_bytes: int = MAX_FRAME_BYTES,
         idle_timeout: float = 300.0,
     ):
@@ -212,6 +221,7 @@ class SpecializationServer:
         self.quota = quota or TenantQuota()
         self.trusted = frozenset(trusted)
         self.store_dir = Path(store_dir) if store_dir is not None else None
+        self.remote_store = remote_store
         self.max_frame_bytes = max_frame_bytes
         self.idle_timeout = idle_timeout
         self.admission = AdmissionController()
@@ -251,6 +261,13 @@ class SpecializationServer:
         """Stop accepting, unblock every live connection, join threads."""
         self._closing.set()
         if self._listener is not None:
+            # shutdown() wakes a thread blocked in accept(); close()
+            # alone leaves it blocked and the port in LISTEN, so a
+            # restart on the same port would fail with EADDRINUSE.
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
             try:
                 self._listener.close()
             except OSError:
@@ -271,6 +288,13 @@ class SpecializationServer:
             self._accept_thread.join(timeout=5)
         for thread in handlers:
             thread.join(timeout=5)
+        # Drain every extension's write-behind queue so images this
+        # replica generated reach the shared L3 before the process dies.
+        with self._tenants_lock:
+            tenants = list(self._tenants.values())
+        for tenant in tenants:
+            for ext in tenant.extensions():
+                ext.close_store(flush=True, timeout=5)
 
     def __enter__(self) -> "SpecializationServer":
         return self.start()
@@ -499,6 +523,7 @@ class SpecializationServer:
             analyze="off",
             cache_size=tenant.quota.max_cached_residuals,
             store_dir=tenant.store_dir,
+            remote_store=self.remote_store,
             max_unfold_depth=unfold,
             max_residual_size=size,
         )
@@ -580,6 +605,8 @@ class SpecializationServer:
         stats = residual.stats
         if stats.get("cache_hit"):
             provenance = "l1"
+        elif stats.get("l3_hit"):
+            provenance = "l3"
         elif stats.get("disk_hit"):
             provenance = "l2"
         else:

@@ -1,0 +1,156 @@
+"""Connection-state regression tests for the specialization client.
+
+A request/response exchange that dies mid-frame (timeout, peer reset,
+torn frame) leaves an unknown number of bytes buffered in the TCP
+stream.  The client MUST throw that connection away: reusing it would
+desync the framing and corrupt every later exchange.  These tests pin
+the fix — :meth:`SpecializationClient.request` resets ``_sock`` on any
+transport-level failure and transparently reconnects on the next call.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.serve.client import ServiceError, SpecializationClient
+from repro.serve.protocol import FrameError, recv_frame, send_frame
+
+
+class _StubServer:
+    """A scriptable one-connection-at-a-time frame server.
+
+    Each accepted connection is handled by ``behavior(conn)``; the
+    behaviors below model the failure modes mid-exchange.
+    """
+
+    def __init__(self):
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.port = self._sock.getsockname()[1]
+        self.connections = 0
+        self._behaviors: list = []
+        self._lock = threading.Lock()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._closed = False
+
+    def script(self, *behaviors) -> "_StubServer":
+        """One behavior per expected connection, in accept order."""
+        self._behaviors = list(behaviors)
+        self._thread.start()
+        return self
+
+    def _loop(self) -> None:
+        while self._behaviors:
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            with self._lock:
+                self.connections += 1
+                behavior = self._behaviors.pop(0)
+            try:
+                behavior(conn)
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._sock.close()
+            if self._thread.is_alive():
+                self._thread.join(timeout=5)
+
+
+def _stall_mid_frame(conn: socket.socket) -> None:
+    """Read the request, answer with HALF a frame header, then stall
+    (connection stays open) until the peer gives up."""
+    recv_frame(conn)
+    conn.sendall(b"RP\x01\x00")  # 4 of the 8 header bytes, then silence
+    try:
+        conn.recv(1)  # blocks until the client closes its end
+    except OSError:
+        pass
+
+
+def _close_mid_frame(conn: socket.socket) -> None:
+    """Read the request, send a torn frame (header promising more
+    payload than is ever written), then hang up."""
+    recv_frame(conn)
+    header = b"RP\x01\x00" + struct.pack(">I", 4096)
+    conn.sendall(header + b'{"ty')
+
+
+def _answer_pong(conn: socket.socket) -> None:
+    recv_frame(conn)
+    send_frame(conn, {"type": "pong", "v": 1})
+
+
+def _answer_error(conn: socket.socket) -> None:
+    recv_frame(conn)
+    send_frame(
+        conn,
+        {"type": "error", "v": 1, "code": "BUSY", "message": "later",
+         "retryable": True},
+    )
+    # keep serving: a typed error leaves the stream in sync
+    _answer_pong(conn)
+
+
+def test_timeout_mid_frame_resets_connection():
+    """A server that stalls mid-frame must not poison the client: the
+    timeout surfaces, the socket is dropped, and the next request
+    reconnects and succeeds."""
+    server = _StubServer().script(_stall_mid_frame, _answer_pong)
+    try:
+        client = SpecializationClient("127.0.0.1", server.port, timeout=0.2)
+        with pytest.raises(OSError):
+            client.request({"type": "ping"})
+        # the poisoned connection is gone...
+        assert client._sock is None
+        # ...and the next exchange transparently reconnects and works.
+        assert client.ping()
+        assert server.connections == 2
+        client.close()
+    finally:
+        server.close()
+
+
+def test_torn_frame_resets_connection():
+    """A peer hangup mid-frame (torn payload) raises FrameError and
+    likewise resets the connection."""
+    server = _StubServer().script(_close_mid_frame, _answer_pong)
+    try:
+        client = SpecializationClient("127.0.0.1", server.port, timeout=2.0)
+        with pytest.raises(FrameError):
+            client.request({"type": "ping"})
+        assert client._sock is None
+        assert client.ping()
+        assert server.connections == 2
+        client.close()
+    finally:
+        server.close()
+
+
+def test_typed_error_keeps_connection_open():
+    """A ServiceError arrives on an in-sync stream: the connection must
+    be KEPT (closing it would defeat connection reuse on busy/denied)."""
+    server = _StubServer().script(_answer_error)
+    try:
+        client = SpecializationClient("127.0.0.1", server.port, timeout=2.0)
+        with pytest.raises(ServiceError):
+            client.request({"type": "ping"})
+        assert client._sock is not None
+        assert client.ping()  # same connection, still in sync
+        assert server.connections == 1
+        client.close()
+    finally:
+        server.close()

@@ -365,3 +365,164 @@ class TestExtensionIntegration:
         assert gen_b.to_object_code([3]).run([2]) == 0
         gen_a.cache_clear()
         assert gen_a.to_object_code([3]).run([2]) == 8
+
+
+class TestDurability:
+    """The fsync-before-rename fix and the fsck repair path."""
+
+    def test_put_fsyncs_before_rename(self, tmp_path, gen, monkeypatch):
+        """Regression: `_atomic_write` must flush+fsync the temp file
+        BEFORE `os.replace`, else a crash after a "successful" put can
+        leave a zero-length object under the final name."""
+        events: list[str] = []
+        real_fsync, real_replace = os.fsync, os.replace
+
+        def spy_fsync(fd):
+            events.append("fsync")
+            return real_fsync(fd)
+
+        def spy_replace(src, dst):
+            events.append("replace")
+            return real_replace(src, dst)
+
+        monkeypatch.setattr(os, "fsync", spy_fsync)
+        monkeypatch.setattr(os, "replace", spy_replace)
+        store = ImageStore(tmp_path / "store")
+        assert store.put(_key(), gen.to_object_code([5])) is not None
+        # every rename (object AND index ref) is preceded by an fsync
+        first_replace = events.index("replace")
+        assert "fsync" in events[:first_replace]
+        for i, ev in enumerate(events):
+            if ev == "replace":
+                assert "fsync" in events[:i]
+
+    def test_fsck_quarantines_truncated_object(self, tmp_path, gen):
+        store = ImageStore(tmp_path / "store")
+        digest = store.put(_key(), gen.to_object_code([5]))
+        # simulate a torn write: truncate the object in place
+        store._object_path(digest).write_bytes(b"")
+        report = store.fsck()
+        assert report["checked"] == 1
+        assert report["corrupt"] == [digest]
+        assert report["quarantined"] == 1
+        assert report["removed_refs"] == 1
+        assert not report["ok"]
+        assert store.stats()["fsck_corrupt"] == 1
+        # the torn object is quarantined aside, not silently served
+        assert not store._object_path(digest).exists()
+        assert (store.backend.quarantine_dir / digest).exists()
+        # later gets miss cleanly
+        assert store.get(_key()) is None
+        # and a second fsck is clean
+        assert store.fsck()["ok"]
+
+    def test_fsck_clean_store(self, tmp_path, gen):
+        store = ImageStore(tmp_path / "store")
+        store.put(_key(), gen.to_object_code([5]))
+        report = store.fsck()
+        assert report == {
+            "checked": 1, "corrupt": [], "quarantined": 0,
+            "removed_refs": 0, "ok": True,
+        }
+
+
+class TestTornRefs:
+    """Regression: a torn/empty index ref (crashed writer) used to make
+    `get()` raise and survived `gc()` forever."""
+
+    def _torn_ref(self, store: ImageStore, name: str = "deadbeef") -> None:
+        (store.index_dir / name).write_text("")
+
+    def test_get_on_torn_ref_is_a_miss_not_an_error(self, tmp_path):
+        store = ImageStore(tmp_path / "store")
+        key = _key()
+        self._torn_ref(store, key.digest)
+        assert store.get(key) is None  # used to raise IsADirectoryError
+        assert store.stats()["misses"] == 1
+
+    def test_gc_prunes_torn_refs(self, tmp_path, gen):
+        store = ImageStore(tmp_path / "store")
+        store.put(_key(), gen.to_object_code([5]))
+        self._torn_ref(store, "torn-empty")
+        (store.index_dir / "torn-garbage").write_text("not a digest\n")
+        report = store.gc()  # no size pressure: pure ref hygiene
+        assert report["removed_objects"] == 0
+        assert report["removed_refs"] == 2
+        assert store.stats()["gc_removed_refs"] == 2
+        # the healthy ref survived
+        assert store.get(_key()) is not None
+
+    def test_gc_prunes_refs_to_missing_objects(self, tmp_path, gen):
+        store = ImageStore(tmp_path / "store")
+        digest = store.put(_key(), gen.to_object_code([5]))
+        store._object_path(digest).unlink()
+        report = store.gc()
+        assert report["removed_refs"] == 1
+        assert store.ls() == []
+
+
+class TestConcurrentGetVsGc:
+    """A gc (this process or another) may delete an object between
+    `get()`'s index read and its object load: that is a miss, never an
+    exception."""
+
+    def test_deletion_between_index_read_and_load(
+        self, tmp_path, gen, monkeypatch
+    ):
+        store = ImageStore(tmp_path / "store")
+        digest = store.put(_key(), gen.to_object_code([5]))
+        real_read = store.backend.read_object
+
+        def racing_read(d):
+            # the "concurrent gc" wins the race just before the load
+            path = store._object_path(d)
+            if path.exists():
+                path.unlink()
+            return real_read(d)
+
+        monkeypatch.setattr(store.backend, "read_object", racing_read)
+        assert store.get(_key()) is None
+        stats = store.stats()
+        assert stats["misses"] == 1
+        assert store._object_path(digest).exists() is False
+
+    def test_threaded_get_vs_gc_hammer(self, tmp_path, gen):
+        import threading
+
+        store = ImageStore(tmp_path / "store", max_bytes=1)  # evict-happy
+        rp = gen.to_object_code([5])
+        keys = [_key(n) for n in range(4)]
+        for k in keys:
+            store.put(k, rp)
+        errors: list[BaseException] = []
+        stop = threading.Event()
+
+        def getter():
+            while not stop.is_set():
+                for k in keys:
+                    try:
+                        store.get(k)
+                    except BaseException as exc:  # noqa: B036
+                        errors.append(exc)
+                        stop.set()
+                        return
+
+        def collector():
+            while not stop.is_set():
+                try:
+                    store.gc()
+                    store.put(keys[0], rp)
+                except BaseException as exc:  # noqa: B036
+                    errors.append(exc)
+                    stop.set()
+                    return
+
+        threads = [threading.Thread(target=getter) for _ in range(3)]
+        threads.append(threading.Thread(target=collector))
+        for t in threads:
+            t.start()
+        stop.wait(timeout=1.5)
+        stop.set()
+        for t in threads:
+            t.join(timeout=5)
+        assert errors == []

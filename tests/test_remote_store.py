@@ -1,0 +1,410 @@
+"""The remote L3 object tier: protocol, client, and TieredStore.
+
+Covers the obj_get/obj_put/obj_stat/obj_sync frames end to end over a
+real socket, the client's retry/refusal split, and the TieredStore
+semantics the ISSUE pins: read-through with replicate-down, TTL'd
+negative caching, graceful degradation when L3 is unreachable, the
+write-behind queue (drain-on-reconnect and bounded-drop), and the trust
+story — a poisoned image on the wire never reaches the machine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import socket
+import time
+
+import pytest
+
+from repro.image.codec import encode_residual
+from repro.image.remote import (
+    ObjectServer,
+    RemoteStoreClient,
+    RemoteStoreError,
+    TieredStore,
+    parse_endpoint,
+    prefetch_store,
+    sync_stores,
+)
+from repro.image.store import ImageStore, StoreKey, store_key
+from repro.rtcg import make_generating_extension
+
+POWER = "(define (power x n) (if (zero? n) 1 (* x (power x (- n 1)))))"
+
+
+@pytest.fixture
+def gen():
+    return make_generating_extension(POWER, "DS", goal="power")
+
+
+@pytest.fixture
+def server(tmp_path):
+    with ObjectServer(tmp_path / "l3", port=0) as srv:
+        yield srv
+
+
+@pytest.fixture
+def client(server):
+    c = RemoteStoreClient("127.0.0.1", server.port, timeout=5.0)
+    yield c
+    c.close()
+
+
+def _key(n: int = 1) -> StoreKey:
+    return store_key("prog", (n,), "duplicate", "object")
+
+
+def _image_bytes(gen, static: int = 5) -> tuple[str, bytes]:
+    data = encode_residual(gen.to_object_code([static]))
+    return hashlib.sha256(data).hexdigest(), data
+
+
+def _free_port() -> int:
+    with socket.socket() as s:
+        s.bind(("127.0.0.1", 0))
+        return s.getsockname()[1]
+
+
+class TestParseEndpoint:
+    def test_host_port(self):
+        assert parse_endpoint("example.com:7459") == ("example.com", 7459)
+
+    def test_tuple_passthrough(self):
+        assert parse_endpoint(("h", 1)) == ("h", 1)
+
+    def test_rejects_garbage(self):
+        for bad in ("", "justhost", "h:", "h:notaport", "h:-1", "h:70000"):
+            with pytest.raises(ValueError):
+                parse_endpoint(bad)
+
+
+class TestProtocol:
+    def test_ping(self, client):
+        assert client.ping()
+
+    def test_push_fetch_by_digest(self, gen, client):
+        digest, data = _image_bytes(gen)
+        result = client.push(digest, data)
+        assert result.get("stored")
+        hit = client.fetch(digest=digest)
+        assert hit == (digest, data)
+
+    def test_push_fetch_by_key(self, gen, client):
+        digest, data = _image_bytes(gen)
+        client.push(digest, data, key=_key().digest)
+        hit = client.fetch(key=_key().digest)
+        assert hit == (digest, data)
+
+    def test_fetch_miss_is_none(self, client):
+        assert client.fetch(key=_key().digest) is None
+        assert client.fetch(digest="ab" * 32) is None
+
+    def test_push_digest_mismatch_refused(self, gen, client, server):
+        _, data = _image_bytes(gen)
+        lie = "ab" * 32
+        with pytest.raises(RemoteStoreError) as exc:
+            client.push(lie, data)
+        assert not exc.value.retryable
+        # the refused payload never landed
+        assert client.fetch(digest=lie) is None
+        assert server.stats()["counters"]["bad_requests"] == 1
+
+    def test_push_dedups_by_digest(self, gen, client, server):
+        digest, data = _image_bytes(gen)
+        assert client.push(digest, data).get("stored")
+        assert client.push(digest, data).get("deduped")
+        assert server.stats()["counters"]["dedups"] == 1
+
+    def test_dataless_push_indexes_existing_object(self, gen, client):
+        digest, data = _image_bytes(gen)
+        client.push(digest, data)
+        # a second worker can write a ref without re-uploading bytes
+        result = client.push(digest, None, key=_key(2).digest)
+        assert not result.get("missing")
+        assert client.fetch(key=_key(2).digest) == (digest, data)
+
+    def test_dataless_push_of_absent_object_reports_missing(self, client):
+        assert client.push("cd" * 32, None).get("missing")
+
+    def test_stat(self, gen, client):
+        digest, data = _image_bytes(gen)
+        client.push(digest, data, key=_key().digest)
+        st = client.stat(digest=digest)
+        assert st is not None and st.size == len(data)
+        assert client.stat(key=_key().digest).digest == digest
+        assert client.stat(digest="ab" * 32) is None
+
+    def test_inventory(self, gen, client):
+        digest, data = _image_bytes(gen)
+        client.push(digest, data, key=_key().digest)
+        objects, refs = client.inventory()
+        assert [st.digest for st in objects] == [digest]
+        assert refs == {_key().digest: digest}
+
+    def test_corrupt_at_rest_served_as_miss(self, gen, client, server):
+        digest, data = _image_bytes(gen)
+        client.push(digest, data)
+        server.backend._object_path(digest).write_bytes(b"torn")
+        assert client.fetch(digest=digest) is None
+
+    def test_read_object_raises_filenotfound_on_miss(self, client):
+        with pytest.raises(FileNotFoundError):
+            client.read_object("ab" * 32)
+
+    def test_write_ref_to_missing_object_refused(self, client):
+        with pytest.raises(RemoteStoreError) as exc:
+            client.write_ref(_key().digest, "ab" * 32)
+        assert not exc.value.retryable
+
+    def test_client_is_a_store_backend(self, gen, client):
+        """The client satisfies the full StoreBackend protocol, so
+        ImageStore can run directly against the network."""
+        store = ImageStore(backend=client)
+        rp = gen.to_object_code([5])
+        digest = store.put(_key(), rp)
+        assert digest is not None
+        out = store.get(_key())
+        assert out is not None and out.run([2]) == 32
+
+
+class TestClientRetry:
+    def test_unreachable_raises_retryable(self):
+        c = RemoteStoreClient(
+            "127.0.0.1", _free_port(), timeout=0.2, retries=1, backoff=0.01
+        )
+        with pytest.raises(RemoteStoreError) as exc:
+            c.fetch(digest="ab" * 32)
+        assert exc.value.retryable
+        assert not c.ping()
+        c.close()
+
+    def test_reconnects_after_server_restart(self, tmp_path, gen):
+        port = _free_port()
+        digest, data = _image_bytes(gen)
+        with ObjectServer(tmp_path / "l3", port=port) as srv:
+            c = RemoteStoreClient("127.0.0.1", port, timeout=5.0)
+            c.push(digest, data)
+            srv.stop()
+            with ObjectServer(tmp_path / "l3", port=port):
+                # the pooled connection died with the old server; the
+                # retry loop transparently reconnects
+                assert c.fetch(digest=digest) == (digest, data)
+            c.close()
+
+
+class TestTieredStore:
+    def _tiered(self, tmp_path, server, **kwargs) -> TieredStore:
+        local = ImageStore(tmp_path / "l2")
+        remote = RemoteStoreClient("127.0.0.1", server.port, timeout=5.0)
+        return TieredStore(local, remote, **kwargs)
+
+    def test_read_through_replicates_down(self, tmp_path, server, gen):
+        digest, data = _image_bytes(gen)
+        RemoteStoreClient("127.0.0.1", server.port).push(
+            digest, data, key=_key().digest
+        )
+        ts = self._tiered(tmp_path, server)
+        out = ts.get(_key())
+        assert out is not None and out.run([2]) == 32
+        assert out.stats["l3_hit"]
+        rs = ts.stats()["remote"]
+        assert rs["remote_hits"] == 1 and rs["replicated"] == 1
+        # second get is served by L2 without touching the wire
+        again = ts.get(_key())
+        assert again is not None and not again.stats.get("l3_hit")
+        assert ts.stats()["remote"]["remote_hits"] == 1
+        ts.close(flush=False)
+
+    def test_negative_cache_bounds_remote_probes(self, tmp_path, server):
+        ts = self._tiered(tmp_path, server, negative_ttl=60.0)
+        assert ts.get(_key()) is None
+        assert ts.get(_key()) is None
+        rs = ts.stats()["remote"]
+        assert rs["remote_misses"] == 1  # only the first get probed L3
+        assert rs["negative_hits"] == 1
+        ts.close(flush=False)
+
+    def test_put_clears_negative_entry(self, tmp_path, server, gen):
+        ts = self._tiered(tmp_path, server, negative_ttl=60.0)
+        assert ts.get(_key()) is None
+        ts.put(_key(), gen.to_object_code([5]))
+        assert ts.flush()
+        # a fresh worker sharing the L3 sees it immediately; this
+        # tier serves it from L2 (the put wrote locally first)
+        assert ts.get(_key()) is not None
+        assert ts.stats()["remote"]["negative_entries"] == 0
+        ts.close(flush=False)
+
+    def test_degrades_to_local_when_remote_down(self, tmp_path):
+        local = ImageStore(tmp_path / "l2")
+        remote = RemoteStoreClient(
+            "127.0.0.1", _free_port(), timeout=0.2, retries=0
+        )
+        ts = TieredStore(local, remote, retry_interval=30.0)
+        assert ts.get(_key()) is None
+        rs = ts.stats()["remote"]
+        assert rs["remote_errors"] == 1 and rs["down"]
+        # while down, later gets skip the wire entirely
+        assert ts.get(_key(2)) is None
+        assert ts.stats()["remote"]["skipped_down"] == 1
+        ts.close(flush=False)
+
+    def test_extension_specializes_locally_when_remote_down(self, tmp_path):
+        gen = make_generating_extension(
+            POWER, "DS", goal="power",
+            store_dir=tmp_path / "l2",
+            remote_store=RemoteStoreClient(
+                "127.0.0.1", _free_port(), timeout=0.2, retries=0
+            ),
+        )
+        assert gen.to_object_code([5]).run([2]) == 32
+        assert gen.cache_stats()["specializer_runs"] == 1
+        assert gen.cache_stats()["store"]["remote"]["remote_errors"] >= 1
+        gen.close_store(flush=False)
+
+    def test_write_behind_drains_on_reconnect(self, tmp_path, gen):
+        port = _free_port()
+        local = ImageStore(tmp_path / "l2")
+        remote = RemoteStoreClient(
+            "127.0.0.1", port, timeout=1.0, retries=0
+        )
+        ts = TieredStore(local, remote, retry_interval=0.05)
+        digest = ts.put(_key(), gen.to_object_code([5]))
+        assert digest is not None
+        # nobody is listening yet: the put queues, the worker retries
+        deadline = time.monotonic() + 5
+        while ts.stats()["remote"]["wb_retries"] == 0:
+            assert time.monotonic() < deadline, "worker never probed"
+            time.sleep(0.01)
+        with ObjectServer(tmp_path / "l3", port=port):
+            assert ts.flush(timeout=10.0)
+            rs = ts.stats()["remote"]
+            assert rs["wb_flushed"] == 1 and rs["wb_dropped"] == 0
+            c = RemoteStoreClient("127.0.0.1", port)
+            assert c.fetch(key=_key().digest) == (
+                digest, local.read_object(digest)
+            )
+            c.close()
+        ts.close(flush=False)
+
+    def test_write_behind_drops_when_saturated(self, tmp_path, gen):
+        local = ImageStore(tmp_path / "l2")
+        remote = RemoteStoreClient(
+            "127.0.0.1", _free_port(), timeout=0.2, retries=0
+        )
+        ts = TieredStore(local, remote, retry_interval=30.0, max_queue=1)
+        for n in (3, 4, 5):
+            ts.put(_key(n), gen.to_object_code([n]))
+        rs = ts.stats()["remote"]
+        # the specializer never blocked: beyond the bound, writes drop
+        assert rs["wb_dropped"] >= 1
+        assert rs["wb_enqueued"] + rs["wb_dropped"] == 3
+        # L2 kept every image regardless
+        assert all(local.get(_key(n)) is not None for n in (3, 4, 5))
+        ts.close(flush=False)
+
+
+class TestSecondMachine:
+    """The fig11 story: machine 2, cold local store, warm shared L3."""
+
+    def test_specializer_never_runs_on_machine_two(self, tmp_path, server):
+        gen1 = make_generating_extension(
+            POWER, "DS", goal="power",
+            store_dir=tmp_path / "m1",
+            remote_store=("127.0.0.1", server.port),
+        )
+        assert gen1.to_object_code([5]).run([2]) == 32
+        assert gen1.flush_store()
+        gen1.close_store()
+
+        gen2 = make_generating_extension(
+            POWER, "DS", goal="power",
+            store_dir=tmp_path / "m2",  # cold: never saw this program
+            remote_store=("127.0.0.1", server.port),
+        )
+        rp = gen2.to_object_code([5])
+        assert rp.run([2]) == 32
+        stats = gen2.cache_stats()
+        assert stats["specializer_runs"] == 0
+        assert stats["store"]["remote"]["remote_hits"] == 1
+        # the image replicated into machine 2's L2 on the way through
+        assert stats["store"]["adopts"] == 1
+        gen2.close_store()
+
+    def test_poisoned_remote_image_never_reaches_the_machine(
+        self, tmp_path, server, gen
+    ):
+        """L3 is untrusted: a well-framed image whose bytecode is
+        unsound (wire tampering, hostile peer) must be rejected by
+        verify-on-load — the worker re-specializes instead."""
+        from repro.vm.instructions import Op
+        from repro.vm.machine import VmClosure
+        from repro.vm.template import Template
+
+        gen1 = make_generating_extension(
+            POWER, "DS", goal="power", store_dir=tmp_path / "m1",
+            remote_store=("127.0.0.1", server.port),
+        )
+        rp = gen1.to_object_code([5])
+        key_digest = rp.stats["image_key"]
+        assert gen1.flush_store()
+        gen1.close_store()
+
+        # forge an unsound image and overwrite the shared ref with it
+        name = next(iter(rp.machine.globals))
+        bad = Template(
+            code=((Op.JUMP, 99), (Op.RETURN,)), literals=(), arity=1,
+            nlocals=1, name=rp.machine.globals[name].template.name,
+        )
+        rp.machine.globals[name] = VmClosure(bad, ())
+        poison = encode_residual(rp)
+        poison_digest = hashlib.sha256(poison).hexdigest()
+        c = RemoteStoreClient("127.0.0.1", server.port)
+        c.push(poison_digest, poison, key=key_digest)
+        c.close()
+
+        gen2 = make_generating_extension(
+            POWER, "DS", goal="power", store_dir=tmp_path / "m2",
+            remote_store=("127.0.0.1", server.port),
+        )
+        out = gen2.to_object_code([5])
+        assert out.run([2]) == 32  # correct answer, locally generated
+        stats = gen2.cache_stats()
+        assert stats["specializer_runs"] == 1
+        assert stats["store"]["remote"]["remote_verify_failures"] == 1
+        # the poison was never adopted into L2
+        assert stats["store"]["adopts"] == 0
+        gen2.close_store()
+
+
+class TestBulkMovement:
+    def test_sync_then_prefetch_round_trip(self, tmp_path, server, gen):
+        a = ImageStore(tmp_path / "a")
+        for n in (3, 4):
+            a.put(_key(n), gen.to_object_code([n]))
+        c = RemoteStoreClient("127.0.0.1", server.port)
+        report = sync_stores(a, c)
+        assert report["objects_pushed"] == 2 and report["errors"] == 0
+        # second sync is a no-op: everything dedups
+        report = sync_stores(a, c)
+        assert report["objects_pushed"] == 0
+        assert report["objects_deduped"] == 2
+
+        b = ImageStore(tmp_path / "b")
+        report = prefetch_store(b, c)
+        assert report["objects_fetched"] == 2 and report["errors"] == 0
+        for n in (3, 4):
+            out = b.get(_key(n))
+            assert out is not None and out.run([2]) == 2 ** n
+        # prefetch again: refs already current
+        assert prefetch_store(b, c)["objects_fetched"] == 0
+        c.close()
+
+    def test_sync_raises_when_unreachable(self, tmp_path):
+        a = ImageStore(tmp_path / "a")
+        c = RemoteStoreClient(
+            "127.0.0.1", _free_port(), timeout=0.2, retries=0
+        )
+        with pytest.raises(RemoteStoreError):
+            sync_stores(a, c)
+        c.close()
